@@ -1,0 +1,392 @@
+// Benchmarks regenerating every table and figure of the paper on a
+// reduced, seeded corpus (same 60 classes, fewer graphs — the full
+// 2100-graph run is cmd/schedbench). Each BenchmarkTableN times the
+// aggregation pipeline for that table and reports its headline numbers
+// via b.ReportMetric, so `go test -bench=.` prints a compact version
+// of the paper's evaluation. Scheduling-throughput and ablation
+// benchmarks follow.
+package schedcomp
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"schedcomp/internal/core"
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/dup"
+	"schedcomp/internal/experiments"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/clans"
+	"schedcomp/internal/heuristics/hu"
+	"schedcomp/internal/heuristics/mcp"
+	"schedcomp/internal/stats"
+)
+
+var (
+	benchOnce sync.Once
+	benchCorp *corpus.Corpus
+	benchEval *core.Evaluation
+)
+
+// benchSetup builds the shared reduced corpus and its evaluation once.
+func benchSetup(b *testing.B) (*corpus.Corpus, *core.Evaluation) {
+	b.Helper()
+	benchOnce.Do(func() {
+		spec := corpus.Spec{Seed: 1994, GraphsPerSet: 6, MinNodes: 40, MaxNodes: 90}
+		c, err := corpus.Generate(spec)
+		if err != nil {
+			panic(err)
+		}
+		ev, err := core.Evaluate(c, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		benchCorp, benchEval = c, ev
+	})
+	return benchCorp, benchEval
+}
+
+// reportRow publishes one table row's per-heuristic values as metrics:
+// <heuristic>_<label> = value.
+func reportRow(b *testing.B, tbl *stats.Table, rowLabel, suffix string) {
+	b.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] != rowLabel {
+			continue
+		}
+		for i, h := range tbl.Columns[1:] {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				b.Fatalf("cell %q: %v", row[i+1], err)
+			}
+			b.ReportMetric(v, h+"_"+suffix)
+		}
+		return
+	}
+	b.Fatalf("row %q not found in %s", rowLabel, tbl.Title)
+}
+
+func BenchmarkTable1Corpus(b *testing.B) {
+	c, _ := benchSetup(b)
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.Table1(c).Rows)
+	}
+	b.ReportMetric(float64(rows), "classes")
+	b.ReportMetric(float64(c.NumGraphs()), "graphs")
+}
+
+func BenchmarkTable2SpeedupLT1ByGranularity(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table2(ev)
+	}
+	// Paper Table 2, first row: CLANS 0, others fail on >50% of the
+	// fine-grained graphs.
+	reportRow(b, tbl, "G < 0.08", "lt1_fineG")
+}
+
+func BenchmarkTable3Fig1RelTimeByGranularity(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table3(ev)
+	}
+	reportRow(b, tbl, "G < 0.08", "rel_fineG")
+}
+
+func BenchmarkTable4Fig2SpeedupByGranularity(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table4(ev)
+	}
+	reportRow(b, tbl, "2 < G", "speedup_coarseG")
+}
+
+func BenchmarkTable5Fig3EfficiencyByGranularity(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table5(ev)
+	}
+	reportRow(b, tbl, "G < 0.08", "eff_fineG")
+}
+
+func BenchmarkTable6SpeedupLT1ByWeightRange(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table6(ev)
+	}
+	reportRow(b, tbl, "20-400", "lt1_w400")
+}
+
+func BenchmarkTable7Fig4RelTimeByWeightRange(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table7(ev)
+	}
+	reportRow(b, tbl, "20-400", "rel_w400")
+}
+
+func BenchmarkTable8Fig5SpeedupByWeightRange(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table8(ev)
+	}
+	reportRow(b, tbl, "20-100", "speedup_w100")
+}
+
+func BenchmarkTable9Fig6EfficiencyByWeightRange(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table9(ev)
+	}
+	reportRow(b, tbl, "20-100", "eff_w100")
+}
+
+func BenchmarkTable10SpeedupLT1ByAnchor(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table10(ev)
+	}
+	reportRow(b, tbl, "A = 2", "lt1_anchor2")
+}
+
+func BenchmarkTable11RelTimeByAnchor(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Table11(ev)
+	}
+	reportRow(b, tbl, "A = 5", "rel_anchor5")
+}
+
+func BenchmarkFiguresRender(b *testing.B) {
+	_, ev := benchSetup(b)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, f := range experiments.AllFigures(ev) {
+			total += len(f)
+		}
+	}
+	b.ReportMetric(float64(total), "chart_bytes")
+}
+
+// --- scheduling throughput -------------------------------------------------
+
+// benchGraph is a fixed, representative mid-granularity PDG.
+func benchGraph() *Graph {
+	return gen.MustGenerate(gen.Params{
+		Nodes: 100, Anchor: 3, WMin: 20, WMax: 200,
+		Gran: gen.Band{Lo: 0.2, Hi: 0.8},
+	}, 77)
+}
+
+func benchSchedule(b *testing.B, name string) {
+	g := benchGraph()
+	s, err := heuristics.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleCLANS(b *testing.B) { benchSchedule(b, "CLANS") }
+func BenchmarkScheduleDSC(b *testing.B)   { benchSchedule(b, "DSC") }
+func BenchmarkScheduleMCP(b *testing.B)   { benchSchedule(b, "MCP") }
+func BenchmarkScheduleMH(b *testing.B)    { benchSchedule(b, "MH") }
+func BenchmarkScheduleHU(b *testing.B)    { benchSchedule(b, "HU") }
+
+func BenchmarkGenerateGraph(b *testing.B) {
+	p := gen.Params{Nodes: 100, Anchor: 3, WMin: 20, WMax: 200, Gran: gen.Band{Lo: 0.2, Hi: 0.8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.MustGenerate(p, int64(i))
+	}
+}
+
+// --- ablations --------------------------------------------------------------
+
+// meanSpeedupOver evaluates a single scheduler over one graph per
+// corpus class and returns the mean speedup.
+func meanSpeedupOver(b *testing.B, factory func() heuristics.Scheduler) float64 {
+	c, _ := benchSetup(b)
+	var acc stats.Acc
+	s := factory()
+	for _, set := range c.Sets {
+		g := set.Graphs[0]
+		sc, err := heuristics.Run(s, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add(sc.Speedup())
+	}
+	return acc.Mean()
+}
+
+// BenchmarkAblationCLANSSpeedupCheck quantifies the per-linear-node
+// speedup check: without it CLANS parallelizes unconditionally and
+// loses its never-below-serial guarantee.
+func BenchmarkAblationCLANSSpeedupCheck(b *testing.B) {
+	var withCheck, without float64
+	for i := 0; i < b.N; i++ {
+		withCheck = meanSpeedupOver(b, func() heuristics.Scheduler { return clans.New() })
+		without = meanSpeedupOver(b, func() heuristics.Scheduler { return &clans.CLANS{SpeedupCheck: false} })
+	}
+	b.ReportMetric(withCheck, "speedup_guarded")
+	b.ReportMetric(without, "speedup_unguarded")
+}
+
+// BenchmarkAblationMCPInsertion quantifies gap insertion in MCP.
+func BenchmarkAblationMCPInsertion(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = meanSpeedupOver(b, func() heuristics.Scheduler { return mcp.New() })
+		without = meanSpeedupOver(b, func() heuristics.Scheduler { return &mcp.MCP{Insertion: false} })
+	}
+	b.ReportMetric(with, "speedup_insertion")
+	b.ReportMetric(without, "speedup_append")
+}
+
+// BenchmarkAblationHUPolicy contrasts the paper's comm-oblivious HU
+// placement with the comm-aware variant — the interpretation choice
+// DESIGN.md documents.
+func BenchmarkAblationHUPolicy(b *testing.B) {
+	var avail, start float64
+	for i := 0; i < b.N; i++ {
+		avail = meanSpeedupOver(b, func() heuristics.Scheduler { return hu.New() })
+		start = meanSpeedupOver(b, func() heuristics.Scheduler { return &hu.HU{Policy: hu.EarliestStart} })
+	}
+	b.ReportMetric(avail, "speedup_earliest_avail")
+	b.ReportMetric(start, "speedup_earliest_start")
+}
+
+// BenchmarkAblationCLANSDeepPrimitives contrasts flat CLANS with the
+// strengthened variant that extracts sub-clans inside primitive clans.
+func BenchmarkAblationCLANSDeepPrimitives(b *testing.B) {
+	var flat, deep float64
+	for i := 0; i < b.N; i++ {
+		flat = meanSpeedupOver(b, func() heuristics.Scheduler { return clans.New() })
+		deep = meanSpeedupOver(b, func() heuristics.Scheduler {
+			return &clans.CLANS{SpeedupCheck: true, DeepPrimitives: true}
+		})
+	}
+	b.ReportMetric(flat, "speedup_flat")
+	b.ReportMetric(deep, "speedup_deep")
+}
+
+// BenchmarkAblationDuplication measures what the paper's
+// no-duplication rule costs: mean speedup of DSH with duplication
+// enabled vs disabled over one graph per corpus class.
+func BenchmarkAblationDuplication(b *testing.B) {
+	c, _ := benchSetup(b)
+	run := func(maxDups int) float64 {
+		var acc stats.Acc
+		for _, set := range c.Sets {
+			s, err := (&dup.DSH{MaxDupsPerTask: maxDups}).Schedule(set.Graphs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc.Add(s.Speedup())
+		}
+		return acc.Mean()
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(0)     // default chain bound
+		without = run(-1) // duplication disabled
+	}
+	b.ReportMetric(with, "speedup_dup")
+	b.ReportMetric(without, "speedup_nodup")
+}
+
+// BenchmarkAblationPerturbation sweeps the generator's
+// reachability-perturbation strength (DescendantBias): with bias 100
+// no insertion ever changes reachability and CLANS sees pristine clan
+// structure; with bias 0 every insertion perturbs. Reported metric:
+// CLANS and MCP mean speedup over a fine-grained sample at each bias.
+func BenchmarkAblationPerturbation(b *testing.B) {
+	run := func(bias int, name string) float64 {
+		s, err := heuristics.New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc stats.Acc
+		for seed := int64(0); seed < 10; seed++ {
+			g := gen.MustGenerate(gen.Params{
+				Nodes: 80, Anchor: 3, WMin: 20, WMax: 200,
+				Gran: gen.Band{Lo: 0, Hi: 0.08}, DescendantBias: bias,
+			}, 700+seed)
+			sc, err := heuristics.Run(s, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc.Add(sc.Speedup())
+		}
+		return acc.Mean()
+	}
+	var c100, c0, m100, m0 float64
+	for i := 0; i < b.N; i++ {
+		c100 = run(100, "CLANS")
+		c0 = run(-1, "CLANS")
+		m100 = run(100, "MCP")
+		m0 = run(-1, "MCP")
+	}
+	b.ReportMetric(c100, "clans_bias100")
+	b.ReportMetric(c0, "clans_bias0")
+	b.ReportMetric(m100, "mcp_bias100")
+	b.ReportMetric(m0, "mcp_bias0")
+}
+
+// BenchmarkAblationGraphSize shows how mean speedup scales with graph
+// size for the five heuristics' best performer per size.
+func BenchmarkAblationGraphSize(b *testing.B) {
+	sizes := []int{30, 60, 120}
+	p := gen.Params{Anchor: 3, WMin: 20, WMax: 200, Gran: gen.Band{Lo: 0.8, Hi: 2}}
+	var means [3]float64
+	for i := 0; i < b.N; i++ {
+		for si, n := range sizes {
+			p.Nodes = n
+			var acc stats.Acc
+			for seed := int64(0); seed < 4; seed++ {
+				g := gen.MustGenerate(p, 500+seed)
+				sc, err := heuristics.Run(clans.New(), g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc.Add(sc.Speedup())
+			}
+			means[si] = acc.Mean()
+		}
+	}
+	for si, n := range sizes {
+		b.ReportMetric(means[si], "clans_speedup_n"+strconv.Itoa(n))
+	}
+}

@@ -1,0 +1,137 @@
+// Command schedbench regenerates the paper's full evaluation: it
+// builds the classified random-PDG corpus (Table 1), runs the five
+// heuristics on every graph, and prints Tables 2–11 and Figures 1–6.
+//
+// Usage:
+//
+//	schedbench [-seed N] [-graphs N] [-min N] [-max N] [-figures] [-table1]
+//
+// With the defaults it reproduces the paper-scale experiment: 60
+// classes × 35 graphs = 2100 PDGs of 40–120 nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"schedcomp"
+	"schedcomp/internal/report"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1994, "corpus random seed")
+		graphs     = flag.Int("graphs", 35, "graphs per class (paper: 35)")
+		minN       = flag.Int("min", 40, "minimum graph size in nodes")
+		maxN       = flag.Int("max", 120, "maximum graph size in nodes")
+		figures    = flag.Bool("figures", true, "render Figures 1-6 as text charts")
+		table1     = flag.Bool("table1", false, "print the 60-row corpus composition (Table 1)")
+		extensions = flag.Bool("extensions", false, "also run the extension experiments (optimality gap, wider weight ranges, duplication, metric comparison, extended comparison)")
+		saveDir    = flag.String("save", "", "save the generated corpus to this directory")
+		loadDir    = flag.String("load", "", "load a previously saved corpus instead of generating")
+		markdown   = flag.String("markdown", "", "also write the full report as markdown to this file")
+	)
+	flag.Parse()
+
+	var c *schedcomp.Corpus
+	var err error
+	start := time.Now()
+	if *loadDir != "" {
+		fmt.Printf("loading corpus from %s...\n", *loadDir)
+		c, err = schedcomp.LoadCorpus(*loadDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpus load failed:", err)
+			os.Exit(1)
+		}
+	} else {
+		spec := schedcomp.PaperCorpusSpec(*seed)
+		spec.GraphsPerSet = *graphs
+		spec.MinNodes = *minN
+		spec.MaxNodes = *maxN
+		fmt.Printf("generating corpus: 60 classes x %d graphs (%d-%d nodes), seed %d...\n",
+			spec.GraphsPerSet, spec.MinNodes, spec.MaxNodes, spec.Seed)
+		c, err = schedcomp.GenerateCorpus(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpus generation failed:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("corpus ready: %d graphs in %v\n", c.NumGraphs(), time.Since(start).Round(time.Millisecond))
+	if *saveDir != "" {
+		if err := c.Save(*saveDir); err != nil {
+			fmt.Fprintln(os.Stderr, "corpus save failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved corpus to %s\n", *saveDir)
+	}
+
+	if *table1 {
+		fmt.Println()
+		fmt.Println(schedcomp.CorpusTable(c))
+	}
+
+	start = time.Now()
+	fmt.Println("evaluating CLANS, DSC, MCP, MH, HU on every graph...")
+	ev, err := schedcomp.Evaluate(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluation failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("evaluated %d schedules in %v\n\n", 5*c.NumGraphs(), time.Since(start).Round(time.Millisecond))
+
+	for _, t := range schedcomp.Tables(ev) {
+		fmt.Println(t)
+	}
+	if *figures {
+		for _, f := range schedcomp.Figures(ev) {
+			fmt.Println(f)
+		}
+	}
+
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = report.Write(f, c, ev, report.Options{
+			Extensions:    *extensions,
+			ExtensionSeed: *seed,
+			Timestamp:     time.Now(),
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "markdown report failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote markdown report to %s\n", *markdown)
+	}
+
+	if *extensions {
+		fmt.Println(schedcomp.SpeedupQuantilesTable(ev))
+		fmt.Println("running extension experiments...")
+		type ext struct {
+			name string
+			run  func() (*schedcomp.Table, error)
+		}
+		for _, e := range []ext{
+			{"optimality gap", func() (*schedcomp.Table, error) { return schedcomp.OptimalityGapTable(*seed, 10) }},
+			{"wider weight ranges", func() (*schedcomp.Table, error) { return schedcomp.WiderWeightRangesTable(*seed, 4) }},
+			{"duplication gain", func() (*schedcomp.Table, error) { return schedcomp.DuplicationGainTable(*seed, 10) }},
+			{"metric comparison", func() (*schedcomp.Table, error) { return schedcomp.MetricComparisonTable(*seed, 100) }},
+			{"extended comparison", func() (*schedcomp.Table, error) { return schedcomp.ExtendedComparisonTable(*seed, 10) }},
+			{"size scaling", func() (*schedcomp.Table, error) { return schedcomp.SizeScalingTable(*seed, 5) }},
+		} {
+			t, err := e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println(t)
+		}
+	}
+}

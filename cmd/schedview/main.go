@@ -1,0 +1,91 @@
+// Command schedview loads a PDG from JSON (a file or stdin), schedules
+// it with one or all of the five heuristics, and prints the schedule
+// as a Gantt chart and a start-time table.
+//
+// Usage:
+//
+//	schedview [-f graph.json] [-heuristic NAME|all] [-width N] [-dot]
+//
+// Generate inputs with daggen, e.g.:
+//
+//	daggen -nodes 60 | schedview -heuristic CLANS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedcomp"
+	"schedcomp/internal/analysis"
+	"schedcomp/internal/dag"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "input graph JSON (default: stdin)")
+		heur    = flag.String("heuristic", "all", "heuristic name or 'all'")
+		width   = flag.Int("width", 72, "Gantt chart width in characters")
+		dot     = flag.Bool("dot", false, "also print the graph in Graphviz dot")
+		analyze = flag.Bool("analyze", false, "print a schedule-quality breakdown per heuristic")
+		csv     = flag.Bool("csv", false, "emit each schedule as CSV instead of a Gantt chart")
+		trace   = flag.Bool("trace", false, "emit each schedule in Chrome trace format instead of a Gantt chart")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := dag.ReadJSON(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reading graph:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph %q: %d tasks, %d edges, serial time %d, granularity %.3f, anchor %d\n\n",
+		g.Name(), g.NumNodes(), g.NumEdges(), g.SerialTime(), g.Granularity(), g.AnchorOutDegree())
+	if *dot {
+		fmt.Println(g.DOT())
+	}
+
+	names := []string{*heur}
+	if *heur == "all" {
+		names = []string{"CLANS", "DSC", "MCP", "MH", "HU"}
+	}
+	for _, name := range names {
+		s, err := schedcomp.ScheduleGraph(name, g)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n", name)
+		switch {
+		case *csv:
+			if err := s.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case *trace:
+			if err := s.WriteTrace(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Println(s.Gantt(*width))
+		}
+		if *analyze {
+			r, err := analysis.Analyze(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(r)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package schedcomp_test
+
+import (
+	"fmt"
+
+	"schedcomp"
+)
+
+// The paper's appendix example: five tasks whose optimal schedule
+// overlaps node 2 with the chain 3-4.
+func ExampleScheduleGraph() {
+	g := schedcomp.NewGraph("appendix")
+	n := make([]schedcomp.NodeID, 5)
+	for i, w := range []int64{10, 20, 30, 40, 50} {
+		n[i] = g.AddNode(w)
+	}
+	g.MustAddEdge(n[0], n[1], 5)
+	g.MustAddEdge(n[0], n[2], 5)
+	g.MustAddEdge(n[2], n[3], 10)
+	g.MustAddEdge(n[1], n[4], 4)
+	g.MustAddEdge(n[3], n[4], 5)
+
+	s, err := schedcomp.ScheduleGraph("CLANS", g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parallel time %d on %d processors (serial %d)\n",
+		s.Makespan, s.NumProcs, g.SerialTime())
+	// Output:
+	// parallel time 130 on 2 processors (serial 150)
+}
+
+// Generating a classified random PDG: the class constraints
+// (granularity band, anchor out-degree, weight range) hold by
+// construction.
+func ExampleGenerate() {
+	bands := schedcomp.PaperBands()
+	g, err := schedcomp.Generate(schedcomp.GenParams{
+		Nodes: 60, Anchor: 3, WMin: 20, WMax: 100, Gran: bands[2],
+	}, 7)
+	if err != nil {
+		panic(err)
+	}
+	min, max := g.NodeWeightRange()
+	fmt.Printf("anchor %d, weights within [20,100]: %v, granularity in band: %v\n",
+		g.AnchorOutDegree(), min >= 20 && max <= 100, bands[2].Contains(g.Granularity()))
+	// Output:
+	// anchor 3, weights within [20,100]: true, granularity in band: true
+}
+
+// Comparing all five paper heuristics on one workload.
+func ExamplePaperHeuristics() {
+	g := schedcomp.ForkJoin(2, 6, 100, 5) // coarse-grained fork-join
+	for _, s := range schedcomp.PaperHeuristics() {
+		sc, err := schedcomp.Run(s, g)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-5s speedup %.2f\n", s.Name(), sc.Speedup())
+	}
+	// Output:
+	// CLANS speedup 2.88
+	// DSC   speedup 2.88
+	// MCP   speedup 2.88
+	// MH    speedup 2.88
+	// HU    speedup 2.88
+}
+
+// Exact optimum for a small graph, as a baseline.
+func ExampleOptimal() {
+	g := schedcomp.NewGraph("tiny")
+	a := g.AddNode(10)
+	b := g.AddNode(20)
+	c := g.AddNode(30)
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(a, c, 5)
+	res, err := schedcomp.Optimal(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal parallel time %d\n", res.Makespan)
+	// Output:
+	// optimal parallel time 40
+}

@@ -1,0 +1,39 @@
+// Granularity sweep: take one workload shape (a fork-join program) and
+// sweep the message cost from negligible to crushing, printing each
+// heuristic's speedup at every point. This reproduces the paper's
+// central finding as a single readable curve: all heuristics improve
+// with granularity, the local schedulers collapse below speedup 1 when
+// communication dominates, and CLANS degrades gracefully to serial
+// execution instead.
+package main
+
+import (
+	"fmt"
+
+	"schedcomp"
+)
+
+func main() {
+	names := []string{"CLANS", "DSC", "MCP", "MH", "HU"}
+	const taskCost = 50
+
+	fmt.Printf("%-10s %-12s", "msg cost", "granularity")
+	for _, n := range names {
+		fmt.Printf(" %8s", n)
+	}
+	fmt.Println()
+
+	for _, msgCost := range []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500} {
+		g := schedcomp.ForkJoin(3, 6, taskCost, msgCost)
+		fmt.Printf("%-10d %-12.3f", msgCost, g.Granularity())
+		for _, name := range names {
+			s, err := schedcomp.ScheduleGraph(name, g)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf(" %8.2f", s.Speedup())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nspeedup per heuristic as communication cost rises (task cost fixed at 50)")
+}

@@ -1,0 +1,148 @@
+package schedcomp
+
+import (
+	"schedcomp/internal/dup"
+	"schedcomp/internal/experiments"
+	"schedcomp/internal/heuristics/clans"
+	"schedcomp/internal/opt"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/sim"
+)
+
+// Extensions beyond the paper's Tables 1-11: the exact optimal
+// baseline its introduction laments not having, the duplication
+// technique its assumptions exclude, the strengthened CLANS variant
+// its conclusion hints at, a contention-level execution simulator, and
+// the follow-up studies its future-work section proposes.
+
+// OptimalResult is an exact optimum for a small graph.
+type OptimalResult = opt.Result
+
+// Optimal computes an exact optimal schedule for a small graph (≤ 14
+// tasks by default) by branch and bound, seeded with the best of the
+// five heuristics.
+func Optimal(g *Graph) (*OptimalResult, error) {
+	var best int64
+	for _, s := range PaperHeuristics() {
+		sc, err := Run(s, g)
+		if err != nil {
+			return nil, err
+		}
+		if best == 0 || sc.Makespan < best {
+			best = sc.Makespan
+		}
+	}
+	return opt.Solve(g, opt.Options{Incumbent: best})
+}
+
+// DupSchedule is a schedule in which tasks may have been duplicated
+// onto several processors.
+type DupSchedule = dup.Schedule
+
+// ScheduleWithDuplication schedules g with the simplified Duplication
+// Scheduling Heuristic — the technique the paper's model forbids —
+// for comparison against the five no-duplication heuristics.
+func ScheduleWithDuplication(g *Graph) (*DupSchedule, error) {
+	return dup.New().Schedule(g)
+}
+
+// NewDeepCLANS returns the strengthened CLANS variant that extracts
+// proper sub-clans inside primitive clans ("the best version of
+// CLANS" the paper alludes to). The registered "CLANS" scheduler is
+// the flat paper configuration.
+func NewDeepCLANS() Scheduler {
+	return &clans.CLANS{SpeedupCheck: true, DeepPrimitives: true}
+}
+
+// SimResult is a contention-level simulation outcome.
+type SimResult = sim.Result
+
+// SimulateHeuristic schedules g with the named heuristic and then
+// simulates the placement on the network with contended,
+// store-and-forward links — a stricter model than the paper's.
+func SimulateHeuristic(name string, g *Graph, net *Network) (*SimResult, error) {
+	s, err := NewScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := s.Schedule(g)
+	if err != nil {
+		return nil, err
+	}
+	// Heuristics emit dense, interchangeable processor labels; compact
+	// before treating them as physical network positions.
+	pl.Compact()
+	return sim.Run(g, pl, net)
+}
+
+// SimulatePlacement simulates an explicit placement (whose processor
+// indices are physical network positions) under link contention.
+func SimulatePlacement(g *Graph, pl *Placement, net *Network) (*SimResult, error) {
+	return sim.Run(g, pl, net)
+}
+
+// Extension experiment drivers (see EXPERIMENTS.md):
+
+// OptimalityGapTable reports each heuristic's mean distance from the
+// exact optimum on tiny graphs, per granularity band.
+func OptimalityGapTable(seed int64, perBand int) (*Table, error) {
+	return experiments.OptimalityGap(seed, perBand)
+}
+
+// WiderWeightRangesTable extends the paper's node-weight-range domain
+// up to 20-1600.
+func WiderWeightRangesTable(seed int64, graphsPerCell int) (*Table, error) {
+	return experiments.WiderWeightRanges(seed, graphsPerCell)
+}
+
+// DuplicationGainTable quantifies what the no-duplication assumption
+// costs, per granularity band.
+func DuplicationGainTable(seed int64, perBand int) (*Table, error) {
+	return experiments.DuplicationGain(seed, perBand)
+}
+
+// MetricComparisonTable correlates speedup with the paper's
+// granularity metric versus Sarkar's.
+func MetricComparisonTable(seed int64, graphs int) (*Table, error) {
+	return experiments.MetricComparison(seed, graphs)
+}
+
+// ExtendedComparisonTable reruns the granularity study with nine
+// heuristics: the paper's five plus ETF, EZ (Sarkar), LC (Kim &
+// Browne) and DLS (Sih & Lee).
+func ExtendedComparisonTable(seed int64, perBand int) (*Table, error) {
+	return experiments.ExtendedComparison(seed, perBand)
+}
+
+// SizeScalingTable reports mean speedup against graph size.
+func SizeScalingTable(seed int64, perSize int) (*Table, error) {
+	return experiments.SizeScaling(seed, perSize)
+}
+
+// SpeedupQuantilesTable reports the p10/p50/p90 speedup distribution
+// per granularity band for an existing evaluation.
+func SpeedupQuantilesTable(ev *Evaluation) *Table {
+	return experiments.SpeedupQuantiles(ev)
+}
+
+// MustPlacementOf runs a registered heuristic and returns its raw
+// placement (for SimulatePlacement and custom evaluation).
+func MustPlacementOf(name string, g *Graph) (*Placement, error) {
+	s, err := NewScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := s.Schedule(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.Check(g); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// BuildPlacement times a placement under the paper's uniform model.
+func BuildPlacement(g *Graph, pl *Placement) (*Schedule, error) {
+	return sched.Build(g, pl)
+}

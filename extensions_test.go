@@ -1,0 +1,120 @@
+package schedcomp
+
+import (
+	"testing"
+)
+
+func TestOptimalFacade(t *testing.T) {
+	g := NewGraph("tiny")
+	a := g.AddNode(10)
+	b := g.AddNode(20)
+	c := g.AddNode(30)
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(a, c, 5)
+	res, err := Optimal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: a and c share a processor ([0,10) and [10,40)); b runs
+	// on another at [15,35) after its 5-unit message — makespan 40.
+	if res.Makespan != 40 {
+		t.Errorf("optimal = %d, want 40", res.Makespan)
+	}
+}
+
+func TestScheduleWithDuplicationFacade(t *testing.T) {
+	g := ForkJoin(1, 4, 10, 500)
+	s, err := ScheduleWithDuplication(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Duplicates() == 0 {
+		t.Error("expected duplication on a comm-bound fork-join")
+	}
+}
+
+func TestNewDeepCLANSFacade(t *testing.T) {
+	s := NewDeepCLANS()
+	if s.Name() != "CLANS" {
+		t.Errorf("Name = %s", s.Name())
+	}
+	g := FFT(3, 50, 10)
+	sc, err := Run(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Makespan > g.SerialTime() {
+		t.Error("deep CLANS exceeded serial time")
+	}
+}
+
+func TestSimulateHeuristicFacade(t *testing.T) {
+	g := FFT(3, 40, 20)
+	res, err := SimulateHeuristic("MCP", g, FullyConnected(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan <= 0 {
+		t.Error("empty simulation result")
+	}
+	// Contended execution can never beat the paper's model timing of
+	// the same heuristic.
+	plain, err := ScheduleGraph("MCP", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan < plain.Makespan {
+		t.Errorf("simulated %d beat uncontended %d", res.Schedule.Makespan, plain.Makespan)
+	}
+}
+
+func TestExtensionTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension tables in -short mode")
+	}
+	type run struct {
+		name string
+		f    func() (*Table, error)
+		rows int
+	}
+	for _, r := range []run{
+		{"optimality", func() (*Table, error) { return OptimalityGapTable(1, 2) }, 5},
+		{"ranges", func() (*Table, error) { return WiderWeightRangesTable(1, 1) }, 6},
+		{"duplication", func() (*Table, error) { return DuplicationGainTable(1, 2) }, 5},
+		{"metric", func() (*Table, error) { return MetricComparisonTable(1, 15) }, 5},
+		{"extended", func() (*Table, error) { return ExtendedComparisonTable(1, 1) }, 5},
+		{"scaling", func() (*Table, error) { return SizeScalingTable(1, 1) }, 5},
+	} {
+		tbl, err := r.f()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if len(tbl.Rows) != r.rows {
+			t.Errorf("%s: %d rows, want %d", r.name, len(tbl.Rows), r.rows)
+		}
+		if tbl.CSV() == "" {
+			t.Errorf("%s: empty CSV", r.name)
+		}
+	}
+}
+
+func TestBuildPlacementFacade(t *testing.T) {
+	g := NewGraph("bp")
+	a := g.AddNode(10)
+	b := g.AddNode(10)
+	g.MustAddEdge(a, b, 3)
+	pl, err := MustPlacementOf("DSC", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := BuildPlacement(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Makespan != 20 {
+		t.Errorf("makespan = %d, want 20", sc.Makespan)
+	}
+}

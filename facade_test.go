@@ -1,0 +1,92 @@
+package schedcomp
+
+import (
+	"testing"
+)
+
+func TestNetworkFacade(t *testing.T) {
+	nets := []*Network{
+		FullyConnected(8), Ring(8), Mesh(4, 2), Hypercube(3), Star(8),
+	}
+	for _, net := range nets {
+		if net.NumProcs() != 8 {
+			t.Errorf("%s: %d procs", net.Name(), net.NumProcs())
+		}
+	}
+}
+
+func TestScheduleOnNetwork(t *testing.T) {
+	g := FFT(3, 40, 10)
+	for _, net := range []*Network{FullyConnected(4), Ring(4), Hypercube(2)} {
+		for _, contention := range []bool{false, true} {
+			s, err := ScheduleOnNetwork(g, net, contention)
+			if err != nil {
+				t.Fatalf("%s contention=%v: %v", net.Name(), contention, err)
+			}
+			if s.NumProcs > 4 {
+				t.Errorf("%s: %d procs", net.Name(), s.NumProcs)
+			}
+			if s.Makespan <= 0 {
+				t.Errorf("%s: makespan %d", net.Name(), s.Makespan)
+			}
+		}
+	}
+}
+
+func TestSparseTopologyCostsMore(t *testing.T) {
+	// The same scheduler on a ring pays multi-hop delays a fully
+	// connected machine does not; for a communication-heavy graph the
+	// ring schedule should never be cheaper.
+	g := FFT(3, 20, 50)
+	full, err := ScheduleOnNetwork(g, FullyConnected(8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := ScheduleOnNetwork(g, Ring(8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Makespan < full.Makespan {
+		t.Errorf("ring %d beat fully connected %d", ring.Makespan, full.Makespan)
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	if got := len(AllWorkloads(10, 5)); got != 9 {
+		t.Fatalf("AllWorkloads = %d graphs", got)
+	}
+	cases := []*Graph{
+		FFT(3, 10, 5),
+		GaussianElimination(5, 10, 5),
+		LU(3, 10, 5),
+		Cholesky(3, 10, 5),
+		Laplace(4, 3, 10, 5),
+		Stencil2D(3, 2, 10, 5),
+		DivideAndConquer(3, 10, 5),
+		ForkJoin(2, 4, 10, 5),
+		Pipeline(3, 4, 10, 5),
+	}
+	for _, g := range cases {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+		if _, err := ScheduleGraph("CLANS", g); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestNewMHIsScheduler(t *testing.T) {
+	var s Scheduler = NewMH(Ring(4), true)
+	if s.Name() != "MH" {
+		t.Errorf("Name = %s", s.Name())
+	}
+	g := ForkJoin(2, 3, 50, 5)
+	sc, err := Run(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumProcs > 4 {
+		t.Errorf("procs = %d on a 4-proc ring", sc.NumProcs)
+	}
+}

@@ -1,0 +1,3 @@
+module schedcomp
+
+go 1.22

@@ -1,0 +1,149 @@
+// Package analysis decomposes a schedule's quality: where the parallel
+// time goes (busy vs idle processors), how much communication the
+// placement actually pays, how balanced the load is, and how far the
+// makespan sits above the two classical lower bounds (critical path
+// and total-work-over-processors). The paper reports only aggregate
+// speedup/efficiency; these per-schedule diagnostics explain *why* a
+// heuristic's number is what it is, and power schedview's -analyze
+// output.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+// Report is the full diagnostic breakdown of one schedule.
+type Report struct {
+	// Makespan, Procs, Speedup, Efficiency mirror the schedule.
+	Makespan   int64
+	Procs      int
+	Speedup    float64
+	Efficiency float64
+
+	// BusyTime is the summed execution time (= the graph's serial
+	// time); IdleTime is Procs*Makespan − BusyTime.
+	BusyTime int64
+	IdleTime int64
+
+	// CommPaid is the summed weight of edges whose endpoints run on
+	// different processors; CommTotal sums all edge weights. Their
+	// ratio is the fraction of potential communication actually paid.
+	CommPaid  int64
+	CommTotal int64
+	// CrossEdges counts the cross-processor edges.
+	CrossEdges int
+
+	// LoadMax and LoadMin are the heaviest and lightest processor
+	// loads (busy time); Imbalance is LoadMax/mean load (1.0 =
+	// perfectly balanced).
+	LoadMax   int64
+	LoadMin   int64
+	Imbalance float64
+
+	// CPLowerBound is the communication-free critical path;
+	// WorkLowerBound is ceil(serial/Procs). CPStretch is
+	// Makespan/CPLowerBound (≥ 1).
+	CPLowerBound   int64
+	WorkLowerBound int64
+	CPStretch      float64
+
+	// Depth and MaxWidth describe the graph's shape: the longest
+	// path's node count and the widest depth level — context for how
+	// many processors could possibly be useful.
+	Depth    int
+	MaxWidth int
+}
+
+// Analyze computes the report for a validated schedule.
+func Analyze(s *sched.Schedule) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := s.Graph
+	r := &Report{
+		Makespan:   s.Makespan,
+		Procs:      s.NumProcs,
+		Speedup:    s.Speedup(),
+		Efficiency: s.Efficiency(),
+		BusyTime:   g.SerialTime(),
+	}
+	if s.NumProcs > 0 {
+		r.IdleTime = int64(s.NumProcs)*s.Makespan - r.BusyTime
+	}
+
+	proc := make([]int, g.NumNodes())
+	for v, a := range s.ByNode {
+		proc[v] = a.Proc
+	}
+	for _, e := range g.Edges() {
+		r.CommTotal += e.Weight
+		if proc[e.From] != proc[e.To] {
+			r.CommPaid += e.Weight
+			r.CrossEdges++
+		}
+	}
+
+	if s.NumProcs > 0 {
+		load := make([]int64, s.NumProcs)
+		for v, a := range s.ByNode {
+			load[a.Proc] += g.Weight(dag.NodeID(v))
+		}
+		r.LoadMax, r.LoadMin = load[0], load[0]
+		var sum int64
+		for _, l := range load {
+			if l > r.LoadMax {
+				r.LoadMax = l
+			}
+			if l < r.LoadMin {
+				r.LoadMin = l
+			}
+			sum += l
+		}
+		if sum > 0 {
+			mean := float64(sum) / float64(s.NumProcs)
+			r.Imbalance = float64(r.LoadMax) / mean
+		}
+	}
+
+	lv, err := g.BLevelsNoComm()
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lv {
+		if l > r.CPLowerBound {
+			r.CPLowerBound = l
+		}
+	}
+	if s.NumProcs > 0 {
+		r.WorkLowerBound = (r.BusyTime + int64(s.NumProcs) - 1) / int64(s.NumProcs)
+	}
+	if r.CPLowerBound > 0 {
+		r.CPStretch = float64(r.Makespan) / float64(r.CPLowerBound)
+	}
+	r.Depth = g.Depth()
+	r.MaxWidth = g.MaxWidth()
+	return r, nil
+}
+
+// String renders the report as an aligned block for terminals.
+func (r *Report) String() string {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("parallel time     %d (critical path bound %d, stretch %.2fx)", r.Makespan, r.CPLowerBound, r.CPStretch)
+	w("processors        %d (work bound %d)", r.Procs, r.WorkLowerBound)
+	w("speedup           %.2f   efficiency %.2f", r.Speedup, r.Efficiency)
+	w("busy/idle time    %d / %d", r.BusyTime, r.IdleTime)
+	if r.CommTotal > 0 {
+		w("communication     paid %d of %d (%.0f%%) over %d cross edges",
+			r.CommPaid, r.CommTotal, 100*float64(r.CommPaid)/float64(r.CommTotal), r.CrossEdges)
+	} else {
+		w("communication     none in graph")
+	}
+	w("load balance      max %d / min %d (imbalance %.2fx)", r.LoadMax, r.LoadMin, r.Imbalance)
+	w("graph shape       depth %d, max level width %d", r.Depth, r.MaxWidth)
+	return b.String()
+}

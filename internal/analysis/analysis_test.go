@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/paperex"
+	"schedcomp/internal/sched"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+func TestAnalyzePaperExampleCLANS(t *testing.T) {
+	g := paperex.Graph()
+	s, err := heuristics.New("CLANS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := heuristics.Run(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 130 || r.Procs != 2 {
+		t.Fatalf("makespan %d procs %d", r.Makespan, r.Procs)
+	}
+	if r.BusyTime != 150 {
+		t.Errorf("busy = %d, want 150", r.BusyTime)
+	}
+	if r.IdleTime != 2*130-150 {
+		t.Errorf("idle = %d, want %d", r.IdleTime, 2*130-150)
+	}
+	// Cross edges in the CLANS schedule: 1->2 and 2->5 (node 2 alone):
+	// weights 5 + 4 = 9 of total 29.
+	if r.CommPaid != 9 || r.CommTotal != 29 || r.CrossEdges != 2 {
+		t.Errorf("comm: paid %d/%d over %d edges", r.CommPaid, r.CommTotal, r.CrossEdges)
+	}
+	if r.CPLowerBound != 130 {
+		t.Errorf("CP bound = %d, want 130", r.CPLowerBound)
+	}
+	if math.Abs(r.CPStretch-1.0) > 1e-12 {
+		t.Errorf("stretch = %v, want 1.0 (schedule is optimal)", r.CPStretch)
+	}
+	if r.LoadMax != 130 || r.LoadMin != 20 {
+		t.Errorf("loads = %d/%d", r.LoadMax, r.LoadMin)
+	}
+	out := r.String()
+	for _, want := range []string{"parallel time", "processors", "communication", "load balance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeSerialSchedule(t *testing.T) {
+	g := paperex.Graph()
+	pl, err := sched.Serial(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.Build(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IdleTime != 0 {
+		t.Errorf("serial idle = %d, want 0", r.IdleTime)
+	}
+	if r.CommPaid != 0 || r.CrossEdges != 0 {
+		t.Errorf("serial pays communication: %d over %d edges", r.CommPaid, r.CrossEdges)
+	}
+	if math.Abs(r.Imbalance-1.0) > 1e-12 {
+		t.Errorf("serial imbalance = %v", r.Imbalance)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	g := paperex.Graph()
+	pl, _ := sched.Serial(g)
+	sc, _ := sched.Build(g, pl)
+	sc.ByNode[0].Start = 999 // corrupt
+	sc.ByNode[0].Finish = 999 + g.Weight(0)
+	if _, err := Analyze(sc); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+// Property: invariants hold for every heuristic on random graphs:
+// idle ≥ 0, paid comm ≤ total comm, stretch ≥ 1, work bound ≤ makespan.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := dag.New("q")
+		for i := 0; i < n; i++ {
+			g.AddNode(int64(1 + rng.Intn(60)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(100) < 20 {
+					g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), int64(rng.Intn(50)))
+				}
+			}
+		}
+		for _, s := range heuristics.All() {
+			sc, err := heuristics.Run(s, g)
+			if err != nil {
+				return false
+			}
+			r, err := Analyze(sc)
+			if err != nil {
+				return false
+			}
+			if r.IdleTime < 0 || r.CommPaid > r.CommTotal {
+				return false
+			}
+			if r.CPStretch < 1-1e-9 {
+				return false
+			}
+			if r.WorkLowerBound > r.Makespan {
+				return false
+			}
+			if r.LoadMax < r.LoadMin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

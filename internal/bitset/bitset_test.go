@@ -1,0 +1,244 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	for i := 0; i < 130; i++ {
+		if s.Contains(i) {
+			t.Fatalf("empty set contains %d", i)
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(100)
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !s.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Remove(63)
+	if s.Contains(63) {
+		t.Error("63 still present after Remove")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(63)
+	if s.Count() != 3 {
+		t.Fatalf("Count changed on redundant Remove")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Contains(10) },
+		func() { s.Remove(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative capacity")
+		}
+	}()
+	New(-1)
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Add(1)
+	a.Add(65)
+	b.Add(2)
+	b.Add(65)
+
+	u := a.Clone()
+	if changed := u.Union(b); !changed {
+		t.Error("Union should report change")
+	}
+	if u.Count() != 3 || !u.Contains(1) || !u.Contains(2) || !u.Contains(65) {
+		t.Errorf("union wrong: %v", u)
+	}
+	if changed := u.Union(b); changed {
+		t.Error("second Union should be a no-op")
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if i.Count() != 1 || !i.Contains(65) {
+		t.Errorf("intersect wrong: %v", i)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if d.Count() != 1 || !d.Contains(1) {
+		t.Errorf("subtract wrong: %v", d)
+	}
+}
+
+func TestIntersectsEqual(t *testing.T) {
+	a, b := New(10), New(10)
+	a.Add(3)
+	b.Add(4)
+	if a.Intersects(b) {
+		t.Error("disjoint sets reported as intersecting")
+	}
+	b.Add(3)
+	if !a.Intersects(b) {
+		t.Error("intersecting sets reported disjoint")
+	}
+	if a.Equal(b) {
+		t.Error("unequal sets reported equal")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not equal to original")
+	}
+	if a.Equal(New(11)) {
+		t.Error("sets of different capacity reported equal")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).Union(New(11))
+}
+
+func TestForEachElemsOrder(t *testing.T) {
+	s := New(200)
+	want := []int{0, 5, 63, 64, 127, 128, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClearAndString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(9)
+	if got := s.String(); got != "{1, 9}" {
+		t.Errorf("String = %q, want {1, 9}", got)
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("Clear left elements behind")
+	}
+	if got := s.String(); got != "{}" {
+		t.Errorf("String of empty = %q", got)
+	}
+}
+
+// Property: a Set agrees with a map[int]bool model under a random
+// operation sequence.
+func TestQuickAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		s := New(n)
+		model := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Contains(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for _, e := range s.Elems() {
+			if !model[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and idempotent on counts.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		again.Union(a)
+		again.Union(b)
+		return again.Equal(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

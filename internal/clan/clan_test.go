@@ -1,0 +1,293 @@
+package clan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/paperex"
+)
+
+func mustParse(t *testing.T, g *dag.Graph) *Tree {
+	t.Helper()
+	tree, err := Parse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPaperExampleDecomposition(t *testing.T) {
+	// The paper's §A.5 walkthrough: non-trivial clans are the linear
+	// clan C1{3,4}, the independent clan C2{2,{3,4}} and the linear
+	// root C3{1, C2, 5} (zero-based: {2,3}, {1,2,3}, all).
+	tree := mustParse(t, paperex.Graph())
+	root := tree.Root
+	if root.Kind != Linear {
+		t.Fatalf("root kind = %v, want linear", root.Kind)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d children, want 3", len(root.Children))
+	}
+	if root.Children[0].Kind != Leaf || root.Children[0].Task != 0 {
+		t.Errorf("first child should be leaf node 0, got %v %v",
+			root.Children[0].Kind, root.Children[0].Members)
+	}
+	c2 := root.Children[1]
+	if c2.Kind != Independent || len(c2.Members) != 3 {
+		t.Fatalf("middle child = %v %v, want independent {1,2,3}", c2.Kind, c2.Members)
+	}
+	if root.Children[2].Kind != Leaf || root.Children[2].Task != 4 {
+		t.Errorf("last child should be leaf node 4")
+	}
+	// Inside C2: leaf {1} and linear {2,3}.
+	var foundLinear bool
+	for _, ch := range c2.Children {
+		if ch.Kind == Linear {
+			foundLinear = true
+			if len(ch.Members) != 2 || ch.Members[0] != 2 || ch.Members[1] != 3 {
+				t.Errorf("linear clan members = %v, want [2 3]", ch.Members)
+			}
+		}
+	}
+	if !foundLinear {
+		t.Error("independent clan missing the linear child {3,4}")
+	}
+}
+
+func TestChainIsLinear(t *testing.T) {
+	g := dag.New("chain")
+	var prev dag.NodeID = -1
+	for i := 0; i < 5; i++ {
+		v := g.AddNode(1)
+		if prev >= 0 {
+			g.MustAddEdge(prev, v, 1)
+		}
+		prev = v
+	}
+	tree := mustParse(t, g)
+	if tree.Root.Kind != Linear || len(tree.Root.Children) != 5 {
+		t.Errorf("chain root = %v with %d children", tree.Root.Kind, len(tree.Root.Children))
+	}
+	for _, c := range tree.Root.Children {
+		if c.Kind != Leaf {
+			t.Errorf("chain child kind = %v", c.Kind)
+		}
+	}
+}
+
+func TestDisjointTasksAreIndependent(t *testing.T) {
+	g := dag.New("par")
+	for i := 0; i < 4; i++ {
+		g.AddNode(1)
+	}
+	tree := mustParse(t, g)
+	if tree.Root.Kind != Independent || len(tree.Root.Children) != 4 {
+		t.Errorf("root = %v with %d children", tree.Root.Kind, len(tree.Root.Children))
+	}
+}
+
+func TestNStructureIsPrimitive(t *testing.T) {
+	// The classic N: a->c, a->d, b->d; no 2-subset is a module.
+	g := dag.New("N")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	c := g.AddNode(1)
+	d := g.AddNode(1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(a, d, 1)
+	g.MustAddEdge(b, d, 1)
+	tree := mustParse(t, g)
+	if tree.Root.Kind != Primitive {
+		t.Errorf("N-structure root = %v, want primitive", tree.Root.Kind)
+	}
+	if len(tree.Root.Children) != 4 {
+		t.Errorf("primitive children = %d, want 4 leaves", len(tree.Root.Children))
+	}
+}
+
+func TestMixedOrderIsPrimitive(t *testing.T) {
+	// Two chains a->b and c->d plus a->d: the incomparability graph
+	// (edges a-c, b-c, b-d) is connected and so is the comparability
+	// graph, leaving no uniform split — the whole set is primitive.
+	g := dag.New("mixed")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	c := g.AddNode(1)
+	d := g.AddNode(1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(c, d, 1)
+	g.MustAddEdge(a, d, 1)
+	tree := mustParse(t, g)
+	if tree.Root.Kind != Primitive {
+		t.Errorf("mixed-order root = %v, want primitive", tree.Root.Kind)
+	}
+}
+
+func TestSeriesOfParallel(t *testing.T) {
+	// fork -> {a,b,c} -> join: linear [fork, {a,b,c}, join].
+	g := dag.New("spj")
+	fork := g.AddNode(1)
+	mids := []dag.NodeID{g.AddNode(1), g.AddNode(1), g.AddNode(1)}
+	join := g.AddNode(1)
+	for _, m := range mids {
+		g.MustAddEdge(fork, m, 1)
+		g.MustAddEdge(m, join, 1)
+	}
+	tree := mustParse(t, g)
+	root := tree.Root
+	if root.Kind != Linear || len(root.Children) != 3 {
+		t.Fatalf("root = %v with %d children", root.Kind, len(root.Children))
+	}
+	mid := root.Children[1]
+	if mid.Kind != Independent || len(mid.Children) != 3 {
+		t.Errorf("middle = %v with %d children, want independent of 3", mid.Kind, len(mid.Children))
+	}
+}
+
+func TestIsClan(t *testing.T) {
+	g := paperex.Graph()
+	cases := []struct {
+		members []dag.NodeID
+		want    bool
+	}{
+		{[]dag.NodeID{2, 3}, true},          // C1
+		{[]dag.NodeID{1, 2, 3}, true},       // C2
+		{[]dag.NodeID{0, 1, 2, 3, 4}, true}, // whole graph
+		{[]dag.NodeID{0}, true},             // singletons always
+		{[]dag.NodeID{1, 2}, false},         // 4 distinguishes (desc of 3-chain only)
+		{[]dag.NodeID{0, 1}, false},
+	}
+	for _, c := range cases {
+		got, err := IsClan(g, c.members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("IsClan(%v) = %v, want %v", c.members, got, c.want)
+		}
+	}
+}
+
+func TestCountsAndString(t *testing.T) {
+	tree := mustParse(t, paperex.Graph())
+	counts := tree.Counts()
+	if counts[Leaf] != 5 {
+		t.Errorf("leaves = %d, want 5", counts[Leaf])
+	}
+	if counts[Linear] != 2 || counts[Independent] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if s := tree.String(); len(s) == 0 {
+		t.Error("String empty")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty, err := Parse(dag.New("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Root != nil {
+		t.Error("empty graph should have nil root")
+	}
+	if err := empty.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	g := dag.New("one")
+	g.AddNode(3)
+	tree := mustParse(t, g)
+	if tree.Root.Kind != Leaf {
+		t.Errorf("single node root = %v", tree.Root.Kind)
+	}
+}
+
+// randomDAG with forward edges only.
+func randomDAG(rng *rand.Rand, n int, density float64) *dag.Graph {
+	g := dag.New("random")
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(1 + rng.Intn(9)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Property: on arbitrary random DAGs the parse tree validates — every
+// tree node is a genuine clan and children partition parents.
+func TestQuickParseValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(30), 0.15+0.3*rng.Float64())
+		tree, err := Parse(g)
+		if err != nil {
+			return false
+		}
+		return tree.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linear children are fully ordered; independent children
+// are fully incomparable.
+func TestQuickKindSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(25), 0.2)
+		tree, err := Parse(g)
+		if err != nil {
+			return false
+		}
+		desc, err := g.Descendants()
+		if err != nil {
+			return false
+		}
+		before := func(u, v dag.NodeID) bool { return desc[u].Contains(int(v)) }
+		ok := true
+		tree.Walk(func(n *Node) {
+			if !ok {
+				return
+			}
+			switch n.Kind {
+			case Linear:
+				for i := 0; i+1 < len(n.Children); i++ {
+					for _, x := range n.Children[i].Members {
+						for _, y := range n.Children[i+1].Members {
+							if !before(x, y) {
+								ok = false
+							}
+						}
+					}
+				}
+			case Independent:
+				for i := range n.Children {
+					for j := i + 1; j < len(n.Children); j++ {
+						for _, x := range n.Children[i].Members {
+							for _, y := range n.Children[j].Members {
+								if before(x, y) || before(y, x) {
+									ok = false
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

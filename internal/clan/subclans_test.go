@@ -1,0 +1,123 @@
+package clan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/paperex"
+)
+
+// nGraph builds the primitive N-structure with a composite module: the
+// classic N over blocks where one "corner" is a 2-chain. Vertices:
+// a1->a2 (a chain), b, c, d with a2->c, a2->d, b->d — {a1,a2} is a
+// proper clan inside an otherwise primitive structure.
+func nGraphWithChain() (*dag.Graph, []dag.NodeID) {
+	g := dag.New("n-chain")
+	a1 := g.AddNode(1)
+	a2 := g.AddNode(1)
+	b := g.AddNode(1)
+	c := g.AddNode(1)
+	d := g.AddNode(1)
+	g.MustAddEdge(a1, a2, 1)
+	g.MustAddEdge(a2, c, 1)
+	g.MustAddEdge(a2, d, 1)
+	g.MustAddEdge(b, d, 1)
+	return g, []dag.NodeID{a1, a2, b, c, d}
+}
+
+func TestSubClansFindsChainInsidePrimitive(t *testing.T) {
+	g, members := nGraphWithChain()
+	// Confirm the whole set really is primitive.
+	tree, err := Parse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Kind != Primitive {
+		t.Fatalf("root = %v, want primitive", tree.Root.Kind)
+	}
+	blocks, err := SubClans(g, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, blk := range blocks {
+		if len(blk) == 2 && blk[0] == 0 && blk[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blocks = %v, expected {0,1} extracted", blocks)
+	}
+	// Partition covers everything exactly once.
+	seen := map[dag.NodeID]int{}
+	for _, blk := range blocks {
+		for _, m := range blk {
+			seen[m]++
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("partition covers %d of 5", len(seen))
+	}
+	for m, c := range seen {
+		if c != 1 {
+			t.Errorf("member %d in %d blocks", m, c)
+		}
+	}
+}
+
+func TestSubClansAllBlocksAreClans(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 4+rng.Intn(20), 0.25)
+		n := g.NumNodes()
+		members := make([]dag.NodeID, n)
+		for i := range members {
+			members[i] = dag.NodeID(i)
+		}
+		blocks, err := SubClans(g, members)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, blk := range blocks {
+			total += len(blk)
+			ok, err := IsClan(g, blk)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubClansHugeSetSkipped(t *testing.T) {
+	g := dag.New("big")
+	var members []dag.NodeID
+	for i := 0; i < maxSubClanMembers+5; i++ {
+		members = append(members, g.AddNode(1))
+	}
+	blocks, err := SubClans(g, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != len(members) {
+		t.Errorf("oversized set should return singletons, got %d blocks", len(blocks))
+	}
+}
+
+func TestParseMembersSubtree(t *testing.T) {
+	g := paperex.Graph()
+	// {2,3} (paper nodes 3,4) is the linear clan C1.
+	sub, err := ParseMembers(g, []dag.NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Kind != Linear || len(sub.Children) != 2 {
+		t.Errorf("subtree = %v with %d children, want linear/2", sub.Kind, len(sub.Children))
+	}
+}

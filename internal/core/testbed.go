@@ -1,0 +1,171 @@
+// Package core implements the paper's primary contribution: the
+// numerical comparison testbed. It runs a set of scheduling heuristics
+// over a corpus of classified PDGs under the common execution model,
+// validates every schedule, and records per-graph measurements —
+// parallel time, processors used, speedup, efficiency, and the
+// normalized relative parallel time against the best heuristic on that
+// graph — from which the experiment drivers aggregate the paper's
+// tables and figures.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+)
+
+// Measurement is one (graph, heuristic) outcome.
+type Measurement struct {
+	Heuristic string
+	// ParallelTime is the schedule makespan.
+	ParallelTime int64
+	// Procs is the number of processors the schedule uses.
+	Procs int
+	// Speedup is serial time / parallel time.
+	Speedup float64
+	// Efficiency is speedup / processors used.
+	Efficiency float64
+	// RelTime is the normalized relative parallel time:
+	// ParallelTime/BestParallelTime − 1, where the best is taken over
+	// all heuristics on this graph.
+	RelTime float64
+}
+
+// GraphRecord holds all heuristics' measurements for one graph.
+type GraphRecord struct {
+	SerialTime int64
+	Best       int64 // best parallel time over the heuristics
+	ByHeur     []Measurement
+}
+
+// SetRecord pairs a graph class with its per-graph records.
+type SetRecord struct {
+	Class  corpus.Class
+	Graphs []GraphRecord
+}
+
+// Evaluation is the full testbed output.
+type Evaluation struct {
+	Heuristics []string
+	Sets       []SetRecord
+}
+
+// Options configures an evaluation run.
+type Options struct {
+	// Workers bounds evaluation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Factories produce a fresh scheduler per worker; nil means the
+	// five paper heuristics in paper order.
+	Factories []func() heuristics.Scheduler
+}
+
+func defaultFactories() []func() heuristics.Scheduler {
+	fs := make([]func() heuristics.Scheduler, len(heuristics.PaperOrder))
+	for i, name := range heuristics.PaperOrder {
+		name := name
+		fs[i] = func() heuristics.Scheduler {
+			s, err := heuristics.New(name)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}
+	}
+	return fs
+}
+
+// Evaluate runs every heuristic on every graph of the corpus,
+// validating each schedule, and returns the measurements. Work is
+// spread over a pool of workers; the result does not depend on the
+// worker count.
+func Evaluate(c *corpus.Corpus, opts Options) (*Evaluation, error) {
+	factories := opts.Factories
+	if factories == nil {
+		factories = defaultFactories()
+	}
+	names := make([]string, len(factories))
+	for i, f := range factories {
+		names[i] = f().Name()
+	}
+	ev := &Evaluation{Heuristics: names, Sets: make([]SetRecord, len(c.Sets))}
+	for i, s := range c.Sets {
+		ev.Sets[i] = SetRecord{Class: s.Class, Graphs: make([]GraphRecord, len(s.Graphs))}
+	}
+
+	type job struct{ set, idx int }
+	jobs := make(chan job)
+	errs := make(chan error, 1)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scheds := make([]heuristics.Scheduler, len(factories))
+			for i, f := range factories {
+				scheds[i] = f()
+			}
+			for j := range jobs {
+				rec, err := evaluateGraph(c.Sets[j.set].Graphs[j.idx], scheds)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("set %d graph %d: %w", j.set, j.idx, err):
+					default:
+					}
+					continue
+				}
+				ev.Sets[j.set].Graphs[j.idx] = rec
+			}
+		}()
+	}
+	for si := range c.Sets {
+		for gi := range c.Sets[si].Graphs {
+			jobs <- job{si, gi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return ev, nil
+}
+
+// evaluateGraph runs all schedulers on one graph and computes the
+// relative measurements.
+func evaluateGraph(g *dag.Graph, scheds []heuristics.Scheduler) (GraphRecord, error) {
+	rec := GraphRecord{
+		SerialTime: g.SerialTime(),
+		ByHeur:     make([]Measurement, len(scheds)),
+	}
+	for i, s := range scheds {
+		sc, err := heuristics.Run(s, g)
+		if err != nil {
+			return rec, err
+		}
+		rec.ByHeur[i] = Measurement{
+			Heuristic:    s.Name(),
+			ParallelTime: sc.Makespan,
+			Procs:        sc.NumProcs,
+			Speedup:      sc.Speedup(),
+			Efficiency:   sc.Efficiency(),
+		}
+		if rec.Best == 0 || sc.Makespan < rec.Best {
+			rec.Best = sc.Makespan
+		}
+	}
+	for i := range rec.ByHeur {
+		m := &rec.ByHeur[i]
+		m.RelTime = float64(m.ParallelTime)/float64(rec.Best) - 1
+	}
+	return rec, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/heuristics"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+func tinyCorpus(t *testing.T, seed int64) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{Seed: seed, GraphsPerSet: 1, MinNodes: 20, MaxNodes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEvaluateShape(t *testing.T) {
+	c := tinyCorpus(t, 3)
+	ev, err := Evaluate(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Heuristics) != 5 {
+		t.Fatalf("heuristics = %v", ev.Heuristics)
+	}
+	for i, want := range heuristics.PaperOrder {
+		if ev.Heuristics[i] != want {
+			t.Errorf("heuristic %d = %s, want %s", i, ev.Heuristics[i], want)
+		}
+	}
+	if len(ev.Sets) != 60 {
+		t.Fatalf("sets = %d", len(ev.Sets))
+	}
+	for si, set := range ev.Sets {
+		for gi, rec := range set.Graphs {
+			if len(rec.ByHeur) != 5 {
+				t.Fatalf("set %d graph %d: %d measurements", si, gi, len(rec.ByHeur))
+			}
+			if rec.Best <= 0 || rec.SerialTime <= 0 {
+				t.Fatalf("set %d graph %d: best=%d serial=%d", si, gi, rec.Best, rec.SerialTime)
+			}
+			sawBest := false
+			for _, m := range rec.ByHeur {
+				if m.ParallelTime < rec.Best {
+					t.Fatalf("measurement below best")
+				}
+				if m.ParallelTime == rec.Best {
+					sawBest = true
+					if math.Abs(m.RelTime) > 1e-12 {
+						t.Fatalf("best heuristic RelTime = %v", m.RelTime)
+					}
+				}
+				wantSpeed := float64(rec.SerialTime) / float64(m.ParallelTime)
+				if math.Abs(m.Speedup-wantSpeed) > 1e-9 {
+					t.Fatalf("speedup inconsistent")
+				}
+				if m.Procs < 1 {
+					t.Fatalf("procs = %d", m.Procs)
+				}
+				wantEff := m.Speedup / float64(m.Procs)
+				if math.Abs(m.Efficiency-wantEff) > 1e-9 {
+					t.Fatalf("efficiency inconsistent")
+				}
+			}
+			if !sawBest {
+				t.Fatalf("no heuristic achieved the recorded best")
+			}
+		}
+	}
+}
+
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	c := tinyCorpus(t, 4)
+	a, err := Evaluate(c, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(c, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Sets {
+		for gi := range a.Sets[si].Graphs {
+			ra, rb := a.Sets[si].Graphs[gi], b.Sets[si].Graphs[gi]
+			for hi := range ra.ByHeur {
+				if ra.ByHeur[hi].ParallelTime != rb.ByHeur[hi].ParallelTime {
+					t.Fatalf("set %d graph %d heur %d differs across worker counts", si, gi, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateCLANSNeverBelowSerial(t *testing.T) {
+	c := tinyCorpus(t, 5)
+	ev, err := Evaluate(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range ev.Sets {
+		for _, rec := range set.Graphs {
+			if rec.ByHeur[0].Heuristic != "CLANS" {
+				t.Fatal("CLANS not first")
+			}
+			if rec.ByHeur[0].Speedup < 1-1e-12 {
+				t.Fatalf("CLANS speedup %v < 1 in %s", rec.ByHeur[0].Speedup, set.Class)
+			}
+		}
+	}
+}
+
+func TestEvaluateCustomFactories(t *testing.T) {
+	c := tinyCorpus(t, 6)
+	mk := func(name string) func() heuristics.Scheduler {
+		return func() heuristics.Scheduler {
+			s, err := heuristics.New(name)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}
+	}
+	ev, err := Evaluate(c, Options{Factories: []func() heuristics.Scheduler{mk("DSC"), mk("MCP")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Heuristics) != 2 || ev.Heuristics[0] != "DSC" {
+		t.Fatalf("heuristics = %v", ev.Heuristics)
+	}
+}

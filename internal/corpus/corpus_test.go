@@ -1,0 +1,134 @@
+package corpus
+
+import (
+	"testing"
+
+	"schedcomp/internal/dag"
+)
+
+func TestClassesEnumerates60(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 60 {
+		t.Fatalf("Classes = %d, want 60", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		key := c.String()
+		if seen[key] {
+			t.Errorf("duplicate class %s", key)
+		}
+		seen[key] = true
+	}
+	// Band-major order: the first 12 classes share the first band.
+	first := cs[0].Band
+	for i := 1; i < 12; i++ {
+		if cs[i].Band != first {
+			t.Errorf("class %d not in first band", i)
+		}
+	}
+}
+
+func TestPaperSpecShape(t *testing.T) {
+	s := PaperSpec(1)
+	if s.GraphsPerSet != 35 {
+		t.Errorf("GraphsPerSet = %d, want 35", s.GraphsPerSet)
+	}
+	if s.MinNodes >= s.MaxNodes || s.MinNodes < 4 {
+		t.Errorf("bad size range [%d,%d]", s.MinNodes, s.MaxNodes)
+	}
+}
+
+func TestGenerateSmallCorpus(t *testing.T) {
+	spec := Spec{Seed: 5, GraphsPerSet: 2, MinNodes: 24, MaxNodes: 36}
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sets) != 60 || c.NumGraphs() != 120 {
+		t.Fatalf("sets=%d graphs=%d", len(c.Sets), c.NumGraphs())
+	}
+	for _, set := range c.Sets {
+		for _, g := range set.Graphs {
+			if g == nil {
+				t.Fatal("nil graph in corpus")
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", set.Class, err)
+			}
+			if !set.Class.Band.Contains(g.Granularity()) {
+				t.Errorf("%s: granularity %v outside band", set.Class, g.Granularity())
+			}
+			if g.AnchorOutDegree() != set.Class.Anchor {
+				t.Errorf("%s: anchor %d", set.Class, g.AnchorOutDegree())
+			}
+			min, max := g.NodeWeightRange()
+			if min < set.Class.WRange.Min || max > set.Class.WRange.Max {
+				t.Errorf("%s: weights [%d,%d]", set.Class, min, max)
+			}
+			if n := g.NumNodes(); n < spec.MinNodes {
+				t.Errorf("%s: %d nodes below minimum", set.Class, n)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := Generate(Spec{Seed: 9, GraphsPerSet: 1, MinNodes: 24, MaxNodes: 32, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{Seed: 9, GraphsPerSet: 1, MinNodes: 24, MaxNodes: 32, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Sets {
+		ga, gb := a.Sets[si].Graphs[0], b.Sets[si].Graphs[0]
+		if ga.NumNodes() != gb.NumNodes() || ga.NumEdges() != gb.NumEdges() {
+			t.Fatalf("set %d differs across worker counts", si)
+		}
+		for i := 0; i < ga.NumNodes(); i++ {
+			if ga.Weight(dag.NodeID(i)) != gb.Weight(dag.NodeID(i)) {
+				t.Fatalf("set %d weights differ", si)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	for _, spec := range []Spec{
+		{Seed: 1, GraphsPerSet: 0, MinNodes: 20, MaxNodes: 30},
+		{Seed: 1, GraphsPerSet: 1, MinNodes: 2, MaxNodes: 30},
+		{Seed: 1, GraphsPerSet: 1, MinNodes: 30, MaxNodes: 20},
+	} {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec accepted: %+v", spec)
+		}
+	}
+}
+
+func TestWeightRangeString(t *testing.T) {
+	if got := (WeightRange{20, 400}).String(); got != "20-400" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestGraphSeedsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for set := 0; set < 60; set++ {
+		for idx := 0; idx < 35; idx++ {
+			s := graphSeed(1994, set, idx)
+			if seen[s] {
+				t.Fatalf("seed collision at set %d idx %d", set, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	c := Classes()[0]
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty class string")
+	}
+}

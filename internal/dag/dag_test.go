@@ -1,0 +1,195 @@
+package dag
+
+import (
+	"errors"
+	"testing"
+)
+
+// diamond builds a 4-node diamond: 0 -> {1,2} -> 3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("diamond")
+	a := g.AddNode(10)
+	b := g.AddNode(20)
+	c := g.AddNode(30)
+	d := g.AddNode(40)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 2)
+	g.MustAddEdge(b, d, 3)
+	g.MustAddEdge(c, d, 4)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New("t")
+	for i := 0; i < 5; i++ {
+		if id := g.AddNode(int64(i + 1)); id != NodeID(i) {
+			t.Fatalf("AddNode returned %d, want %d", id, i)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddNodeRejectsNonPositiveWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode(0) did not panic")
+		}
+	}()
+	New("t").AddNode(0)
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New("t")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	if err := g.AddEdge(a, a, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: got %v", err)
+	}
+	if err := g.AddEdge(a, 99, 1); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("bad node: got %v", err)
+	}
+	if err := g.AddEdge(a, b, -1); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("bad weight: got %v", err)
+	}
+	if err := g.AddEdge(a, b, 7); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b, 7); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate: got %v", err)
+	}
+}
+
+func TestEdgeAccessors(t *testing.T) {
+	g := diamond(t)
+	if w, ok := g.EdgeWeight(0, 2); !ok || w != 2 {
+		t.Errorf("EdgeWeight(0,2) = %d,%v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(1, 2); ok {
+		t.Error("nonexistent edge reported present")
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", d)
+	}
+	if d := g.InDegree(3); d != 2 {
+		t.Errorf("InDegree(3) = %d, want 2", d)
+	}
+}
+
+func TestSetEdgeWeightUpdatesBothDirections(t *testing.T) {
+	g := diamond(t)
+	if !g.SetEdgeWeight(0, 1, 42) {
+		t.Fatal("SetEdgeWeight failed")
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 42 {
+		t.Errorf("succ weight = %d", w)
+	}
+	for _, a := range g.Preds(1) {
+		if a.To == 0 && a.Weight != 42 {
+			t.Errorf("pred weight = %d", a.Weight)
+		}
+	}
+	if g.SetEdgeWeight(1, 0, 5) {
+		t.Error("SetEdgeWeight on missing edge returned true")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := diamond(t)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("second RemoveEdge returned true")
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if _, ok := g.EdgeWeight(0, 1); ok {
+		t.Error("edge still present")
+	}
+	if g.InDegree(1) != 0 {
+		t.Error("pred list not updated")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Errorf("Sinks = %v", s)
+	}
+}
+
+func TestSerialTime(t *testing.T) {
+	if got := diamond(t).SerialTime(); got != 100 {
+		t.Errorf("SerialTime = %d, want 100", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.SetWeight(0, 99)
+	c.RemoveEdge(0, 1)
+	if g.Weight(0) != 10 || g.NumEdges() != 4 {
+		t.Error("mutating the clone affected the original")
+	}
+	if c.Name() != g.Name() {
+		t.Error("clone lost the name")
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g := New("cyclic")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	c := g.AddNode(1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, a, 0)
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Validate = %v, want cycle error", err)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	g := diamond(t)
+	es := g.Edges()
+	if len(es) != 4 {
+		t.Fatalf("Edges returned %d, want 4", len(es))
+	}
+	seen := map[[2]NodeID]int64{}
+	for _, e := range es {
+		seen[[2]NodeID{e.From, e.To}] = e.Weight
+	}
+	if seen[[2]NodeID{2, 3}] != 4 {
+		t.Errorf("edge 2->3 weight = %d, want 4", seen[[2]NodeID{2, 3}])
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New("")
+	if g.SerialTime() != 0 || g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("empty graph invalid: %v", err)
+	}
+	if order, err := g.TopoOrder(); err != nil || len(order) != 0 {
+		t.Errorf("TopoOrder = %v, %v", order, err)
+	}
+}

@@ -1,0 +1,99 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the wire form of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name,omitempty"`
+	Nodes []int64    `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From   int32 `json:"from"`
+	To     int32 `json:"to"`
+	Weight int64 `json:"weight"`
+}
+
+// MarshalJSON encodes the graph as {name, nodes:[weights], edges:[...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name, Nodes: append([]int64(nil), g.weights...)}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge{From: int32(e.From), To: int32(e.To), Weight: e.Weight})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously written by MarshalJSON. The
+// decoded graph is validated (acyclic, positive weights).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng := New(jg.Name)
+	for i, w := range jg.Nodes {
+		if w <= 0 {
+			return fmt.Errorf("dag: node %d has non-positive weight %d", i, w)
+		}
+		ng.AddNode(w)
+	}
+	for _, e := range jg.Edges {
+		if err := ng.AddEdge(NodeID(e.From), NodeID(e.To), e.Weight); err != nil {
+			return err
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// WriteJSON writes the graph to w as a single JSON object.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(g)
+}
+
+// ReadJSON decodes one graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	g := New("")
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz dot syntax with node and edge
+// weights as labels. Output is deterministic.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	name := g.name
+	if name == "" {
+		name = "pdg"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for i, w := range g.weights {
+		fmt.Fprintf(&b, "  n%d [label=\"%d\\n(%d)\"];\n", i, i, w)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", e.From, e.To, e.Weight)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

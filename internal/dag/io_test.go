@@ -1,0 +1,118 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.Name() != b.Name() || a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Weight(NodeID(i)) != b.Weight(NodeID(i)) {
+			return false
+		}
+	}
+	for _, e := range a.Edges() {
+		w, ok := b.EdgeWeight(e.From, e.To)
+		if !ok || w != e.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := paperGraph()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, &back) {
+		t.Error("round trip changed the graph")
+	}
+}
+
+func TestWriteReadJSON(t *testing.T) {
+	g := paperGraph()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Error("WriteJSON/ReadJSON round trip changed the graph")
+	}
+}
+
+func TestUnmarshalRejectsBadGraphs(t *testing.T) {
+	cases := map[string]string{
+		"cycle":          `{"nodes":[1,1],"edges":[{"from":0,"to":1,"weight":0},{"from":1,"to":0,"weight":0}]}`,
+		"bad weight":     `{"nodes":[0],"edges":[]}`,
+		"missing node":   `{"nodes":[1],"edges":[{"from":0,"to":5,"weight":1}]}`,
+		"negative edge":  `{"nodes":[1,1],"edges":[{"from":0,"to":1,"weight":-2}]}`,
+		"duplicate edge": `{"nodes":[1,1],"edges":[{"from":0,"to":1,"weight":1},{"from":0,"to":1,"weight":2}]}`,
+		"not json":       `{{{`,
+	}
+	for name, data := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(data), &g); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := paperGraph()
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph", "n0", "n4", "n0 -> n1", "n3 -> n4", `label="10"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if g2 := New(""); !strings.Contains(g2.DOT(), "digraph") {
+		t.Error("empty graph DOT malformed")
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := paperGraph()
+	if g.DOT() != g.DOT() {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+// Property: JSON round trip preserves any random DAG.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(30), 0.3)
+		g.SetName("roundtrip")
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return graphsEqual(g, &back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package dag
+
+import "math"
+
+// Graph classification metrics from §3 of the paper.
+
+// Granularity implements the paper's definition: the average, over all
+// non-sink nodes, of node weight divided by the node's maximum outgoing
+// edge weight. A graph whose non-sink nodes all have zero-weight
+// outgoing edges has unbounded granularity; Granularity returns +Inf in
+// that case (as a float64). A graph with no non-sink nodes (a single
+// node, or the empty graph) also returns +Inf: there is no
+// communication at all.
+func (g *Graph) Granularity() float64 {
+	var sum float64
+	count := 0
+	infinite := false
+	for i := range g.weights {
+		if len(g.succ[i]) == 0 {
+			continue // sinks do not contribute communication delay
+		}
+		var maxOut int64
+		for _, a := range g.succ[i] {
+			if a.Weight > maxOut {
+				maxOut = a.Weight
+			}
+		}
+		count++
+		if maxOut == 0 {
+			infinite = true
+			continue
+		}
+		sum += float64(g.weights[i]) / float64(maxOut)
+	}
+	if count == 0 || infinite {
+		return math.Inf(1)
+	}
+	return sum / float64(count)
+}
+
+// SarkarGranularity is the pre-existing definition the paper cites
+// (Sarkar): the average node weight, ignoring communication. Provided
+// for the ablation benches contrasting the two metrics.
+func (g *Graph) SarkarGranularity() float64 {
+	if len(g.weights) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, w := range g.weights {
+		sum += w
+	}
+	return float64(sum) / float64(len(g.weights))
+}
+
+// AnchorOutDegree returns the mode of the out-degrees of the non-sink
+// nodes (sinks have out-degree 0 and carry no branching information).
+// Ties are broken toward the smaller degree so the result is
+// deterministic. A graph with no edges has anchor 0.
+func (g *Graph) AnchorOutDegree() int {
+	counts := map[int]int{}
+	maxDeg := 0
+	for i := range g.weights {
+		d := len(g.succ[i])
+		if d == 0 {
+			continue
+		}
+		counts[d]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	anchor, best := 0, 0
+	for d := 1; d <= maxDeg; d++ {
+		if counts[d] > best {
+			best = counts[d]
+			anchor = d
+		}
+	}
+	return anchor
+}
+
+// NodeWeightRange returns the minimum and maximum node weights. For an
+// empty graph both are 0.
+func (g *Graph) NodeWeightRange() (min, max int64) {
+	if len(g.weights) == 0 {
+		return 0, 0
+	}
+	min, max = g.weights[0], g.weights[0]
+	for _, w := range g.weights[1:] {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	return min, max
+}
+
+// MeanOutDegree returns the average out-degree over all nodes.
+func (g *Graph) MeanOutDegree() float64 {
+	if len(g.weights) == 0 {
+		return 0
+	}
+	return float64(g.edges) / float64(len(g.weights))
+}
+
+// CCR returns the communication-to-computation ratio: total edge weight
+// divided by total node weight. It is the inverse-flavoured cousin of
+// granularity, reported by several later papers; exposed for the
+// extension benches.
+func (g *Graph) CCR() float64 {
+	var nodes, comm int64
+	for _, w := range g.weights {
+		nodes += w
+	}
+	for u := range g.succ {
+		for _, a := range g.succ[u] {
+			comm += a.Weight
+		}
+	}
+	if nodes == 0 {
+		return 0
+	}
+	return float64(comm) / float64(nodes)
+}

@@ -1,0 +1,155 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGranularityPaperExample(t *testing.T) {
+	g := paperGraph()
+	// Non-sink nodes and their max outgoing edge: 1: max(5,5)=5 ->
+	// 10/5=2; 2: 4 -> 20/4=5; 3: 10 -> 30/10=3; 4: 5 -> 40/5=8.
+	// Average = (2+5+3+8)/4 = 4.5.
+	got := g.Granularity()
+	if math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Granularity = %v, want 4.5", got)
+	}
+}
+
+func TestGranularityExcludesSinks(t *testing.T) {
+	g := New("t")
+	a := g.AddNode(100)
+	b := g.AddNode(7) // sink: must not contribute
+	g.MustAddEdge(a, b, 50)
+	if got := g.Granularity(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Granularity = %v, want 2.0", got)
+	}
+}
+
+func TestGranularityInfiniteCases(t *testing.T) {
+	// Single node: no communication at all.
+	g := New("one")
+	g.AddNode(5)
+	if !math.IsInf(g.Granularity(), 1) {
+		t.Error("single node granularity should be +Inf")
+	}
+	// Zero-weight edges: communication is free.
+	g2 := New("zero-edges")
+	a := g2.AddNode(5)
+	b := g2.AddNode(5)
+	g2.MustAddEdge(a, b, 0)
+	if !math.IsInf(g2.Granularity(), 1) {
+		t.Error("zero-weight-edge granularity should be +Inf")
+	}
+}
+
+func TestSarkarGranularity(t *testing.T) {
+	g := paperGraph()
+	if got := g.SarkarGranularity(); math.Abs(got-30) > 1e-12 {
+		t.Errorf("SarkarGranularity = %v, want 30 (mean node weight)", got)
+	}
+	if got := New("").SarkarGranularity(); got != 0 {
+		t.Errorf("empty SarkarGranularity = %v", got)
+	}
+}
+
+func TestAnchorOutDegree(t *testing.T) {
+	g := New("t")
+	// Three nodes of out-degree 2, one of out-degree 3 -> mode 2.
+	hub := make([]NodeID, 4)
+	for i := range hub {
+		hub[i] = g.AddNode(1)
+	}
+	leaves := make([]NodeID, 9)
+	for i := range leaves {
+		leaves[i] = g.AddNode(1)
+	}
+	k := 0
+	for i, deg := range []int{2, 2, 2, 3} {
+		for j := 0; j < deg; j++ {
+			g.MustAddEdge(hub[i], leaves[k], 1)
+			k++
+		}
+	}
+	if got := g.AnchorOutDegree(); got != 2 {
+		t.Errorf("AnchorOutDegree = %d, want 2", got)
+	}
+}
+
+func TestAnchorOutDegreeTieBreaksLow(t *testing.T) {
+	g := New("t")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	s1 := g.AddNode(1)
+	s2 := g.AddNode(1)
+	s3 := g.AddNode(1)
+	g.MustAddEdge(a, s1, 1) // degree 1
+	g.MustAddEdge(b, s2, 1) // degree 2
+	g.MustAddEdge(b, s3, 1)
+	if got := g.AnchorOutDegree(); got != 1 {
+		t.Errorf("tie should break to the smaller degree; got %d", got)
+	}
+}
+
+func TestAnchorOutDegreeNoEdges(t *testing.T) {
+	g := New("t")
+	g.AddNode(1)
+	if got := g.AnchorOutDegree(); got != 0 {
+		t.Errorf("AnchorOutDegree = %d, want 0", got)
+	}
+}
+
+func TestNodeWeightRange(t *testing.T) {
+	g := paperGraph()
+	min, max := g.NodeWeightRange()
+	if min != 10 || max != 50 {
+		t.Errorf("NodeWeightRange = [%d,%d], want [10,50]", min, max)
+	}
+	e := New("")
+	if min, max = e.NodeWeightRange(); min != 0 || max != 0 {
+		t.Error("empty graph range should be [0,0]")
+	}
+}
+
+func TestMeanOutDegree(t *testing.T) {
+	g := paperGraph()
+	if got := g.MeanOutDegree(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("MeanOutDegree = %v, want 1.0 (5 edges / 5 nodes)", got)
+	}
+}
+
+func TestCCR(t *testing.T) {
+	g := paperGraph()
+	// Total comm 29, total work 150.
+	if got := g.CCR(); math.Abs(got-29.0/150.0) > 1e-12 {
+		t.Errorf("CCR = %v, want %v", got, 29.0/150.0)
+	}
+}
+
+// Property: multiplying every edge weight by k divides granularity by
+// k (the invariant the generator's calibration loop relies on).
+func TestGranularityScalesInversely(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 3+rng.Intn(30), 0.3)
+		// Ensure all edges have positive weight.
+		for _, e := range g.Edges() {
+			g.SetEdgeWeight(e.From, e.To, e.Weight+1)
+		}
+		g0 := g.Granularity()
+		if math.IsInf(g0, 1) {
+			return true // no non-sink nodes
+		}
+		const k = 3
+		for _, e := range g.Edges() {
+			g.SetEdgeWeight(e.From, e.To, e.Weight*k)
+		}
+		g1 := g.Granularity()
+		return math.Abs(g1-g0/k) < 1e-9*g0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

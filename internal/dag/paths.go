@@ -1,0 +1,153 @@
+package dag
+
+// Path metrics. Following the paper (and Gerasoulis & Yang), a path
+// weight sums both node weights and edge weights along the path; the
+// critical path is the heaviest source→sink path under that measure.
+//
+//   - BLevels: level(n) = longest path weight from the start of n to an
+//     exit node, including n's own weight and the communication weights
+//     of the edges on the path. This is the "level" used by DSC, MH and
+//     the communication-extended HU.
+//   - BLevelsNoComm: the same but ignoring edge weights (the classical
+//     Hu level).
+//   - TLevels: longest path weight from a source to the start of n
+//     (excluding n's weight, including edge weights on the way).
+//   - CriticalPathLength = max over nodes of TLevel + BLevel; with the
+//     definitions above this equals the heaviest source→sink path.
+//   - ALAPTimes: latest possible start times used by MCP's ALAP
+//     binding: T_L(n) = CP − BLevel(n).
+
+// BLevels returns level(n) for every node, with communication costs.
+func (g *Graph) BLevels() ([]int64, error) {
+	return g.blevels(true)
+}
+
+// BLevelsNoComm returns the classical (communication-free) levels.
+func (g *Graph) BLevelsNoComm() ([]int64, error) {
+	return g.blevels(false)
+}
+
+func (g *Graph) blevels(withComm bool) ([]int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lv := make([]int64, g.NumNodes())
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var best int64
+		for _, a := range g.succ[v] {
+			c := lv[a.To]
+			if withComm {
+				c += a.Weight
+			}
+			if c > best {
+				best = c
+			}
+		}
+		lv[v] = g.weights[v] + best
+	}
+	return lv, nil
+}
+
+// TLevels returns, for every node, the weight of the heaviest path from
+// a source to the start of the node (communication included).
+func (g *Graph) TLevels() ([]int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	tl := make([]int64, g.NumNodes())
+	for _, v := range order {
+		var best int64
+		for _, a := range g.pred[v] {
+			p := a.To
+			c := tl[p] + g.weights[p] + a.Weight
+			if c > best {
+				best = c
+			}
+		}
+		tl[v] = best
+	}
+	return tl, nil
+}
+
+// CriticalPathLength returns the weight of the heaviest source→sink
+// path (nodes + edges).
+func (g *Graph) CriticalPathLength() (int64, error) {
+	lv, err := g.BLevels()
+	if err != nil {
+		return 0, err
+	}
+	var cp int64
+	for i := range lv {
+		if len(g.pred[i]) == 0 && lv[i] > cp {
+			cp = lv[i]
+		}
+	}
+	return cp, nil
+}
+
+// CriticalPath returns one heaviest source→sink path as a node
+// sequence. Ties are broken toward smaller node IDs, so the result is
+// deterministic.
+func (g *Graph) CriticalPath() ([]NodeID, error) {
+	lv, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+	// Start at the source with the greatest level.
+	cur := NodeID(-1)
+	var best int64 = -1
+	for i := range g.weights {
+		if len(g.pred[i]) == 0 && lv[i] > best {
+			best = lv[i]
+			cur = NodeID(i)
+		}
+	}
+	if cur < 0 {
+		return nil, nil // empty graph
+	}
+	path := []NodeID{cur}
+	for len(g.succ[cur]) > 0 {
+		// Follow the successor that realizes the level.
+		next := NodeID(-1)
+		var rest int64 = -1
+		for _, a := range g.succ[cur] {
+			c := a.Weight + lv[a.To]
+			if c > rest {
+				rest = c
+				next = a.To
+			}
+		}
+		if lv[cur] != g.weights[cur]+rest {
+			// Heaviest continuation is not on the critical path tail;
+			// cannot happen for consistent levels.
+			break
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// ALAPTimes returns the as-late-as-possible start time of every node:
+// T_L(n) = CP − level(n). Nodes on the critical path have T_L equal to
+// their earliest possible start; all T_L are ≥ 0.
+func (g *Graph) ALAPTimes() ([]int64, error) {
+	lv, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+	var cp int64
+	for i := range lv {
+		if len(g.pred[i]) == 0 && lv[i] > cp {
+			cp = lv[i]
+		}
+	}
+	alap := make([]int64, len(lv))
+	for i := range lv {
+		alap[i] = cp - lv[i]
+	}
+	return alap, nil
+}

@@ -1,0 +1,209 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph is the appendix example (see internal/paperex; duplicated
+// here to avoid an import cycle): nodes 10,20,30,40,50 and edges
+// 0-5->1, 0-5->2, 2-10->3, 1-4->4, 3-5->4. The paper's Figure 14
+// prints its levels: 150, 74, 135, 95, 50.
+func paperGraph() *Graph {
+	g := New("paper")
+	n := []NodeID{g.AddNode(10), g.AddNode(20), g.AddNode(30), g.AddNode(40), g.AddNode(50)}
+	g.MustAddEdge(n[0], n[1], 5)
+	g.MustAddEdge(n[0], n[2], 5)
+	g.MustAddEdge(n[2], n[3], 10)
+	g.MustAddEdge(n[1], n[4], 4)
+	g.MustAddEdge(n[3], n[4], 5)
+	return g
+}
+
+func TestBLevelsMatchPaperFigure14(t *testing.T) {
+	g := paperGraph()
+	lv, err := g.BLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{150, 74, 135, 95, 50}
+	for i, w := range want {
+		if lv[i] != w {
+			t.Errorf("level(%d) = %d, want %d", i+1, lv[i], w)
+		}
+	}
+}
+
+func TestBLevelsNoComm(t *testing.T) {
+	g := paperGraph()
+	lv, err := g.BLevelsNoComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest node-weight-only paths: 5:50, 4:90, 3:120, 2:70, 1:130.
+	want := []int64{130, 70, 120, 90, 50}
+	for i, w := range want {
+		if lv[i] != w {
+			t.Errorf("no-comm level(%d) = %d, want %d", i+1, lv[i], w)
+		}
+	}
+}
+
+func TestTLevels(t *testing.T) {
+	g := paperGraph()
+	tl, err := g.TLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t(1)=0; t(2)=10+5=15; t(3)=15; t(4)=15+30+10=55; t(5)=max(15+20+4, 55+40+5)=100.
+	want := []int64{0, 15, 15, 55, 100}
+	for i, w := range want {
+		if tl[i] != w {
+			t.Errorf("tlevel(%d) = %d, want %d", i+1, tl[i], w)
+		}
+	}
+}
+
+func TestCriticalPathLength(t *testing.T) {
+	g := paperGraph()
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 150 {
+		t.Errorf("CP = %d, want 150", cp)
+	}
+}
+
+func TestCriticalPathNodes(t *testing.T) {
+	g := paperGraph()
+	path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{0, 2, 3, 4} // 1 -> 3 -> 4 -> 5 in paper numbering
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestALAPTimes(t *testing.T) {
+	g := paperGraph()
+	alap, err := g.ALAPTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T_L(n) = 150 - level(n).
+	want := []int64{0, 76, 15, 55, 100}
+	for i, w := range want {
+		if alap[i] != w {
+			t.Errorf("ALAP(%d) = %d, want %d", i+1, alap[i], w)
+		}
+	}
+}
+
+// Property: for every edge (u,v), level(u) >= w(u) + e(u,v) + level(v),
+// tlevel(v) >= tlevel(u) + w(u) + e(u,v), and critical path = max over
+// nodes of tlevel + level.
+func TestPathInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), 0.2)
+		lv, err := g.BLevels()
+		if err != nil {
+			return false
+		}
+		tl, err := g.TLevels()
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if lv[e.From] < g.Weight(e.From)+e.Weight+lv[e.To] {
+				return false
+			}
+			if tl[e.To] < tl[e.From]+g.Weight(e.From)+e.Weight {
+				return false
+			}
+		}
+		cp, err := g.CriticalPathLength()
+		if err != nil {
+			return false
+		}
+		var maxSum int64
+		for i := range lv {
+			if s := tl[i] + lv[i]; s > maxSum {
+				maxSum = s
+			}
+		}
+		return cp == maxSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ALAP times are non-negative and respect edge slack.
+func TestALAPInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), 0.2)
+		alap, err := g.ALAPTimes()
+		if err != nil {
+			return false
+		}
+		for i := range alap {
+			if alap[i] < 0 {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			// A node must be able to finish and ship data before its
+			// successor's latest start.
+			if alap[e.From]+g.Weight(e.From)+e.Weight > alap[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the critical path's weight (nodes + edges) equals
+// CriticalPathLength.
+func TestCriticalPathWeightConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(30), 0.25)
+		path, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		cp, err := g.CriticalPathLength()
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for i, v := range path {
+			sum += g.Weight(v)
+			if i+1 < len(path) {
+				w, ok := g.EdgeWeight(v, path[i+1])
+				if !ok {
+					return false
+				}
+				sum += w
+			}
+		}
+		return sum == cp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package dag
+
+// Structural shape metrics, used by the generator's self-checks, the
+// analysis report and the benches: how deep and how wide a PDG is
+// bounds what any scheduler can do with it.
+
+// Depth returns the number of nodes on the longest path (ignoring
+// weights); 0 for the empty graph.
+func (g *Graph) Depth() int {
+	order, err := g.TopoOrder()
+	if err != nil || len(order) == 0 {
+		return 0
+	}
+	d := make([]int, g.NumNodes())
+	max := 0
+	for _, v := range order {
+		best := 0
+		for _, a := range g.pred[v] {
+			if d[a.To] > best {
+				best = d[a.To]
+			}
+		}
+		d[v] = best + 1
+		if d[v] > max {
+			max = d[v]
+		}
+	}
+	return max
+}
+
+// LevelWidths returns how many nodes sit at each depth level (level =
+// longest incoming path length, 0-based). The slice length equals
+// Depth().
+func (g *Graph) LevelWidths() []int {
+	order, err := g.TopoOrder()
+	if err != nil || len(order) == 0 {
+		return nil
+	}
+	d := make([]int, g.NumNodes())
+	max := 0
+	for _, v := range order {
+		best := -1
+		for _, a := range g.pred[v] {
+			if d[a.To] > best {
+				best = d[a.To]
+			}
+		}
+		d[v] = best + 1
+		if d[v] > max {
+			max = d[v]
+		}
+	}
+	widths := make([]int, max+1)
+	for _, lv := range d {
+		widths[lv]++
+	}
+	return widths
+}
+
+// MaxWidth returns the largest level width: an upper bound on how many
+// processors level-structured parallelism can keep busy at once. (The
+// true maximum antichain can be larger; this is the usual cheap
+// proxy.)
+func (g *Graph) MaxWidth() int {
+	max := 0
+	for _, w := range g.LevelWidths() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}

@@ -1,0 +1,76 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDepthChain(t *testing.T) {
+	g := New("chain")
+	var prev NodeID = -1
+	for i := 0; i < 6; i++ {
+		v := g.AddNode(1)
+		if prev >= 0 {
+			g.MustAddEdge(prev, v, 1)
+		}
+		prev = v
+	}
+	if got := g.Depth(); got != 6 {
+		t.Errorf("Depth = %d, want 6", got)
+	}
+	if got := g.MaxWidth(); got != 1 {
+		t.Errorf("MaxWidth = %d, want 1", got)
+	}
+}
+
+func TestDepthAndWidthDiamond(t *testing.T) {
+	g := diamond(t)
+	if got := g.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	widths := g.LevelWidths()
+	want := []int{1, 2, 1}
+	if len(widths) != len(want) {
+		t.Fatalf("LevelWidths = %v, want %v", widths, want)
+	}
+	for i := range want {
+		if widths[i] != want[i] {
+			t.Fatalf("LevelWidths = %v, want %v", widths, want)
+		}
+	}
+	if got := g.MaxWidth(); got != 2 {
+		t.Errorf("MaxWidth = %d, want 2", got)
+	}
+}
+
+func TestShapeEmptyGraph(t *testing.T) {
+	g := New("")
+	if g.Depth() != 0 || g.MaxWidth() != 0 || g.LevelWidths() != nil {
+		t.Error("empty graph shape metrics nonzero")
+	}
+}
+
+// Property: level widths sum to the node count; depth equals the
+// number of levels; independent nodes all sit at level 0.
+func TestQuickShapeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(40), 0.2)
+		widths := g.LevelWidths()
+		sum := 0
+		for _, w := range widths {
+			if w <= 0 {
+				return false // every level in range must be populated
+			}
+			sum += w
+		}
+		if sum != g.NumNodes() {
+			return false
+		}
+		return g.Depth() == len(widths)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package dag
+
+import (
+	"fmt"
+
+	"schedcomp/internal/bitset"
+)
+
+// TopoOrder returns the nodes in a deterministic topological order
+// (Kahn's algorithm, smallest-ID-first among ready nodes) or ErrCycle
+// if the graph is cyclic.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	// A simple ordered worklist: ready nodes kept sorted by scanning.
+	// For determinism we use a min-heap behaviour via a sorted insert;
+	// graphs here are small (tens to hundreds of nodes), so the O(n^2)
+	// worst case is irrelevant and the constant factor tiny.
+	var ready []NodeID
+	push := func(v NodeID) {
+		i := len(ready)
+		ready = append(ready, v)
+		for i > 0 && ready[i-1] > v {
+			ready[i] = ready[i-1]
+			i--
+		}
+		ready[i] = v
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, a := range g.succ[v] {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				push(a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: %d of %d nodes ordered", ErrCycle, len(order), n)
+	}
+	return order, nil
+}
+
+// TopoPositions returns pos such that pos[n] is node n's index in the
+// deterministic topological order.
+func (g *Graph) TopoPositions() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, g.NumNodes())
+	for i, v := range order {
+		pos[v] = i
+	}
+	return pos, nil
+}
+
+// Descendants returns, for each node, the bit set of nodes strictly
+// reachable from it (the node itself is excluded). The graph must be
+// acyclic.
+func (g *Graph) Descendants() ([]*bitset.Set, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	desc := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		desc[i] = bitset.New(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		for _, a := range g.succ[v] {
+			desc[v].Add(int(a.To))
+			desc[v].Union(desc[a.To])
+		}
+	}
+	return desc, nil
+}
+
+// Ancestors returns, for each node, the bit set of nodes that strictly
+// reach it. The graph must be acyclic.
+func (g *Graph) Ancestors() ([]*bitset.Set, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	anc := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		anc[i] = bitset.New(n)
+	}
+	for _, v := range order {
+		for _, a := range g.pred[v] {
+			anc[v].Add(int(a.To))
+			anc[v].Union(anc[a.To])
+		}
+	}
+	return anc, nil
+}
+
+// HasPath reports whether v is reachable from u by a non-empty path.
+// It runs a DFS; for repeated queries use Descendants.
+func (g *Graph) HasPath(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.succ[x] {
+			if a.To == v {
+				return true
+			}
+			if !seen[a.To] {
+				seen[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return false
+}

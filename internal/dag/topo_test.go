@@ -1,0 +1,147 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random DAG with n nodes where every edge goes from
+// a smaller to a larger ID (hence acyclic by construction).
+func randomDAG(rng *rand.Rand, n int, density float64) *Graph {
+	g := New("random")
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(1 + rng.Intn(100)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.MustAddEdge(NodeID(i), NodeID(j), int64(rng.Intn(50)))
+			}
+		}
+	}
+	return g
+}
+
+func TestTopoOrderIsTopological(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), 0.2)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, g.NumNodes())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return len(order) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(7)), 30, 0.15)
+	a, _ := g.TopoOrder()
+	b, _ := g.TopoOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopoOrder not deterministic")
+		}
+	}
+}
+
+func TestTopoPositions(t *testing.T) {
+	g := New("chain")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	c := g.AddNode(1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	pos, err := g.TopoPositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos[a] != 0 || pos[b] != 1 || pos[c] != 2 {
+		t.Errorf("positions = %v", pos)
+	}
+}
+
+func TestDescendantsAncestorsChain(t *testing.T) {
+	g := New("chain")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	c := g.AddNode(1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	desc, err := g.Descendants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc[a].Count() != 2 || !desc[a].Contains(int(c)) {
+		t.Errorf("desc[a] = %v", desc[a])
+	}
+	if desc[c].Count() != 0 {
+		t.Errorf("desc[c] = %v", desc[c])
+	}
+	anc, err := g.Ancestors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anc[c].Count() != 2 || !anc[c].Contains(int(a)) {
+		t.Errorf("anc[c] = %v", anc[c])
+	}
+	if anc[a].Count() != 0 {
+		t.Errorf("anc[a] = %v", anc[a])
+	}
+}
+
+// Property: v in desc[u] iff u in anc[v], and both agree with HasPath.
+func TestClosureConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(25), 0.25)
+		desc, err := g.Descendants()
+		if err != nil {
+			return false
+		}
+		anc, err := g.Ancestors()
+		if err != nil {
+			return false
+		}
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				d := desc[u].Contains(v)
+				if d != anc[v].Contains(u) {
+					return false
+				}
+				if d != g.HasPath(NodeID(u), NodeID(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasPathSelf(t *testing.T) {
+	g := New("one")
+	a := g.AddNode(1)
+	if g.HasPath(a, a) {
+		t.Error("HasPath(a,a) should be false (no non-empty path)")
+	}
+}

@@ -1,0 +1,297 @@
+// Package dup implements task-duplication scheduling, the technique
+// the paper's assumptions explicitly exclude ("duplication of tasks in
+// separate grains is not allowed", §2, noting heuristics [2,12,16] use
+// it). It exists as an extension experiment: how much parallel time
+// does the no-duplication rule cost the five compared heuristics?
+//
+// Because a task may now run on several processors, the ordinary
+// sched.Schedule cannot represent the result; this package has its own
+// schedule type and validator. A task copy is valid when, for every
+// predecessor, some copy of that predecessor either ran earlier on the
+// same processor or finished early enough on another processor for its
+// message to arrive.
+//
+// The heuristic is a simplified Duplication Scheduling Heuristic (DSH,
+// Kruatrachue & Lewis): list scheduling by communication-weighted
+// level; each task goes to the processor giving the earliest start,
+// and while the start time is bound by a cross-processor message the
+// binding predecessor is greedily duplicated onto the processor if
+// that strictly reduces the start.
+package dup
+
+import (
+	"fmt"
+	"sort"
+
+	"schedcomp/internal/dag"
+)
+
+// Assignment is one executed copy of a task.
+type Assignment struct {
+	Node   dag.NodeID
+	Proc   int
+	Start  int64
+	Finish int64
+}
+
+// Schedule is a duplication schedule: one or more copies per task.
+type Schedule struct {
+	Graph    *dag.Graph
+	Copies   [][]Assignment // indexed by node; at least one copy each
+	NumProcs int
+	Makespan int64
+}
+
+// ParallelTime returns the makespan.
+func (s *Schedule) ParallelTime() int64 { return s.Makespan }
+
+// Speedup returns serial time / parallel time.
+func (s *Schedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.Graph.SerialTime()) / float64(s.Makespan)
+}
+
+// Duplicates returns the number of extra task copies beyond one per
+// task.
+func (s *Schedule) Duplicates() int {
+	d := 0
+	for _, cs := range s.Copies {
+		d += len(cs) - 1
+	}
+	return d
+}
+
+// Validate checks the duplication execution model.
+func (s *Schedule) Validate() error {
+	g := s.Graph
+	n := g.NumNodes()
+	if len(s.Copies) != n {
+		return fmt.Errorf("dup: schedule covers %d of %d tasks", len(s.Copies), n)
+	}
+	type slot struct{ start, finish int64 }
+	perProc := map[int][]slot{}
+	for v := 0; v < n; v++ {
+		if len(s.Copies[v]) == 0 {
+			return fmt.Errorf("dup: task %d has no copy", v)
+		}
+		for _, c := range s.Copies[v] {
+			if int(c.Node) != v {
+				return fmt.Errorf("dup: copy of %d labelled %d", v, c.Node)
+			}
+			if c.Proc < 0 || c.Proc >= s.NumProcs {
+				return fmt.Errorf("dup: task %d on processor %d outside [0,%d)", v, c.Proc, s.NumProcs)
+			}
+			if c.Finish != c.Start+g.Weight(c.Node) || c.Start < 0 {
+				return fmt.Errorf("dup: task %d copy has bad interval [%d,%d)", v, c.Start, c.Finish)
+			}
+			if c.Finish > s.Makespan {
+				return fmt.Errorf("dup: task %d finishes at %d beyond makespan %d", v, c.Finish, s.Makespan)
+			}
+			perProc[c.Proc] = append(perProc[c.Proc], slot{c.Start, c.Finish})
+			// Every predecessor must be satisfiable by some copy.
+			for _, e := range g.Preds(c.Node) {
+				ok := false
+				for _, pc := range s.Copies[e.To] {
+					ready := pc.Finish
+					if pc.Proc != c.Proc {
+						ready += e.Weight
+					}
+					if ready <= c.Start {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("dup: task %d copy on proc %d starts at %d before any copy of pred %d supplies it",
+						v, c.Proc, c.Start, e.To)
+				}
+			}
+		}
+	}
+	for p, slots := range perProc {
+		sort.Slice(slots, func(i, j int) bool { return slots[i].start < slots[j].start })
+		for i := 1; i < len(slots); i++ {
+			if slots[i].start < slots[i-1].finish {
+				return fmt.Errorf("dup: processor %d overlap at %d", p, slots[i].start)
+			}
+		}
+	}
+	return nil
+}
+
+// DSH is the duplication scheduler. MaxDupsPerTask bounds the greedy
+// duplication chain per placement decision: 0 means the default of 3,
+// and a negative value disables duplication entirely (turning DSH into
+// a plain earliest-start list scheduler, the ablation baseline).
+type DSH struct {
+	MaxDupsPerTask int
+}
+
+// New returns a DSH scheduler with default limits.
+func New() *DSH { return &DSH{MaxDupsPerTask: 3} }
+
+// Name identifies the scheduler in reports.
+func (d *DSH) Name() string { return "DSH" }
+
+type procState struct {
+	free   int64
+	copies map[dag.NodeID]int64 // finish time of the local copy
+}
+
+// Schedule runs the heuristic and returns a validated duplication
+// schedule.
+func (d *DSH) Schedule(g *dag.Graph) (*Schedule, error) {
+	maxDups := d.MaxDupsPerTask
+	if maxDups == 0 {
+		maxDups = 3
+	} else if maxDups < 0 {
+		maxDups = 0
+	}
+	n := g.NumNodes()
+	s := &Schedule{Graph: g, Copies: make([][]Assignment, n)}
+	if n == 0 {
+		return s, nil
+	}
+	level, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Priority list: level descending, topologically consistent (a
+	// node's level strictly exceeds its successors', so sorting by
+	// level is automatically topological; ties by ID).
+	list := append([]dag.NodeID(nil), order...)
+	sort.SliceStable(list, func(i, j int) bool {
+		if level[list[i]] != level[list[j]] {
+			return level[list[i]] > level[list[j]]
+		}
+		return list[i] < list[j]
+	})
+
+	var procs []*procState
+	// earliestFinish[v] is the earliest finish over v's copies.
+	earliestFinish := make([]int64, n)
+
+	// arrive computes when v could start on processor p, and which
+	// predecessor binds it from off-processor.
+	arrive := func(v dag.NodeID, p *procState) (int64, dag.NodeID) {
+		var t int64
+		binding := dag.NodeID(-1)
+		for _, e := range g.Preds(v) {
+			var at int64
+			if f, local := p.copies[e.To]; local {
+				at = f
+			} else {
+				at = earliestFinish[e.To] + e.Weight
+			}
+			if at > t {
+				t = at
+				if _, local := p.copies[e.To]; !local {
+					binding = e.To
+				} else {
+					binding = -1
+				}
+			}
+		}
+		return t, binding
+	}
+
+	addCopy := func(v dag.NodeID, pi int, start int64) {
+		p := procs[pi]
+		f := start + g.Weight(v)
+		s.Copies[v] = append(s.Copies[v], Assignment{Node: v, Proc: pi, Start: start, Finish: f})
+		p.copies[v] = f
+		if start < p.free {
+			panic("dup: overlapping copy")
+		}
+		p.free = f
+		if f > s.Makespan {
+			s.Makespan = f
+		}
+		if earliestFinish[v] == 0 || f < earliestFinish[v] {
+			earliestFinish[v] = f
+		}
+	}
+
+	for _, v := range list {
+		// Evaluate each used processor plus one fresh.
+		bestP := -1
+		var bestStart int64
+		var bestDups []dag.NodeID
+		cand := len(procs) + 1
+		for pi := 0; pi < cand; pi++ {
+			var p *procState
+			if pi < len(procs) {
+				p = procs[pi]
+			} else {
+				p = &procState{copies: map[dag.NodeID]int64{}}
+			}
+			// Simulate greedy duplication on a scratch copy of the
+			// processor state.
+			scratch := &procState{free: p.free, copies: map[dag.NodeID]int64{}}
+			for k, f := range p.copies {
+				scratch.copies[k] = f
+			}
+			var dups []dag.NodeID
+			start, binding := arrive(v, scratch)
+			if scratch.free > start {
+				start = scratch.free
+			}
+			for len(dups) < maxDups && binding >= 0 {
+				// Duplicate the binding predecessor locally if that
+				// strictly helps.
+				ds, _ := arrive(binding, scratch)
+				if scratch.free > ds {
+					ds = scratch.free
+				}
+				df := ds + g.Weight(binding)
+				scratch.copies[binding] = df
+				oldFree := scratch.free
+				scratch.free = df
+				ns, nbind := arrive(v, scratch)
+				if scratch.free > ns {
+					ns = scratch.free
+				}
+				if ns < start {
+					start = ns
+					dups = append(dups, binding)
+					binding = nbind
+				} else {
+					delete(scratch.copies, binding)
+					scratch.free = oldFree
+					break
+				}
+			}
+			if bestP == -1 || start < bestStart {
+				bestP, bestStart, bestDups = pi, start, dups
+			}
+		}
+		if bestP == len(procs) {
+			procs = append(procs, &procState{copies: map[dag.NodeID]int64{}})
+		}
+		// Commit duplications then the task itself.
+		p := procs[bestP]
+		for _, dv := range bestDups {
+			ds, _ := arrive(dv, p)
+			if p.free > ds {
+				ds = p.free
+			}
+			addCopy(dv, bestP, ds)
+		}
+		start, _ := arrive(v, p)
+		if p.free > start {
+			start = p.free
+		}
+		addCopy(v, bestP, start)
+	}
+	s.NumProcs = len(procs)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,161 @@
+package dup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/paperex"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+func mustSchedule(t *testing.T, g *dag.Graph) *Schedule {
+	t.Helper()
+	s, err := New().Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if s := mustSchedule(t, dag.New("empty")); s.Makespan != 0 {
+		t.Error("empty graph nonzero makespan")
+	}
+	g := dag.New("one")
+	g.AddNode(7)
+	s := mustSchedule(t, g)
+	if s.Makespan != 7 || s.NumProcs != 1 || s.Duplicates() != 0 {
+		t.Errorf("single task: makespan %d procs %d dups %d", s.Makespan, s.NumProcs, s.Duplicates())
+	}
+}
+
+func TestDuplicationBeatsCommBoundFork(t *testing.T) {
+	// root(10) -> 4 children(10) with edges of 100. Without
+	// duplication the best schedule is serial (50): any split pays a
+	// 100-unit message. With duplication every processor runs its own
+	// root copy: parallel time 20.
+	g := dag.New("fork")
+	r := g.AddNode(10)
+	for i := 0; i < 4; i++ {
+		v := g.AddNode(10)
+		g.MustAddEdge(r, v, 100)
+	}
+	s := mustSchedule(t, g)
+	if s.Makespan != 20 {
+		t.Errorf("makespan = %d, want 20 (duplicated root)", s.Makespan)
+	}
+	if s.Duplicates() < 3 {
+		t.Errorf("duplicates = %d, want >= 3", s.Duplicates())
+	}
+	// Every no-duplication heuristic must be strictly worse here.
+	for _, h := range heuristics.All() {
+		sc, err := heuristics.Run(h, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Makespan <= s.Makespan {
+			t.Errorf("%s makespan %d should exceed DSH's 20", h.Name(), sc.Makespan)
+		}
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// On the appendix example the no-duplication optimum is 130; DSH
+	// must do at least as well (duplication only adds options).
+	s := mustSchedule(t, paperex.Graph())
+	if s.Makespan > 130 {
+		t.Errorf("makespan = %d, want <= 130", s.Makespan)
+	}
+}
+
+func TestChainNoDuplication(t *testing.T) {
+	g := dag.New("chain")
+	var prev dag.NodeID = -1
+	for i := 0; i < 6; i++ {
+		v := g.AddNode(10)
+		if prev >= 0 {
+			g.MustAddEdge(prev, v, 50)
+		}
+		prev = v
+	}
+	s := mustSchedule(t, g)
+	if s.Makespan != 60 || s.NumProcs != 1 || s.Duplicates() != 0 {
+		t.Errorf("chain: makespan %d procs %d dups %d", s.Makespan, s.NumProcs, s.Duplicates())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := dag.New("pair")
+	a := g.AddNode(10)
+	b := g.AddNode(10)
+	g.MustAddEdge(a, b, 100)
+	s := mustSchedule(t, g)
+	// Corrupt: move b's copy earlier than its input allows.
+	s.Copies[b][0].Start = 0
+	s.Copies[b][0].Finish = 10
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected validation failure")
+	}
+}
+
+func TestMaxDupsBound(t *testing.T) {
+	g := paperex.Graph()
+	strict := &DSH{MaxDupsPerTask: 0} // treated as default
+	if _, err := strict.Schedule(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DSH schedules validate on arbitrary random graphs, with
+// and without duplication, and disabling duplication yields zero extra
+// copies.
+func TestQuickSchedulesValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := dag.New("q")
+		for i := 0; i < n; i++ {
+			g.AddNode(int64(1 + rng.Intn(60)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(100) < 25 {
+					g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), int64(rng.Intn(100)))
+				}
+			}
+		}
+		withDup, err := New().Schedule(g)
+		if err != nil || withDup.Validate() != nil {
+			return false
+		}
+		noDup, err := (&DSH{MaxDupsPerTask: -1}).Schedule(g)
+		if err != nil || noDup.Validate() != nil {
+			return false
+		}
+		return noDup.Duplicates() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnGeneratedPDGs(t *testing.T) {
+	for i, band := range gen.PaperBands() {
+		g := gen.MustGenerate(gen.Params{
+			Nodes: 50, Anchor: 3, WMin: 20, WMax: 100, Gran: band,
+		}, int64(900+i))
+		s := mustSchedule(t, g)
+		if s.Makespan <= 0 {
+			t.Errorf("band %v: makespan %d", band, s.Makespan)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (§4) from a testbed evaluation. Each
+// TableN function corresponds to the same-numbered table in the paper;
+// the figures are the same aggregates plotted (Fig 1 = Table 3, Fig 2 =
+// Table 4, Fig 3 = Table 5, Fig 4 = Table 7, Fig 5 = Table 8, Fig 6 =
+// Table 9), for which FigureN functions render ASCII charts.
+package experiments
+
+import (
+	"fmt"
+
+	"schedcomp/internal/core"
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/stats"
+)
+
+// bandKey returns the index of the granularity band a class belongs
+// to, matching gen.PaperBands order.
+func bandKey(bands []gen.Band, c corpus.Class) int {
+	for i, b := range bands {
+		if b == c.Band {
+			return i
+		}
+	}
+	return -1
+}
+
+// wrangeKey returns the index of the class's weight range.
+func wrangeKey(ranges []corpus.WeightRange, c corpus.Class) int {
+	for i, w := range ranges {
+		if w == c.WRange {
+			return i
+		}
+	}
+	return -1
+}
+
+// anchorKey returns the index of the class's anchor out-degree.
+func anchorKey(anchors []int, c corpus.Class) int {
+	for i, a := range anchors {
+		if a == c.Anchor {
+			return i
+		}
+	}
+	return -1
+}
+
+// groupAcc accumulates one statistic per (group, heuristic).
+type groupAcc struct {
+	acc [][]stats.Acc
+}
+
+func newGroupAcc(groups, heurs int) *groupAcc {
+	g := &groupAcc{acc: make([][]stats.Acc, groups)}
+	for i := range g.acc {
+		g.acc[i] = make([]stats.Acc, heurs)
+	}
+	return g
+}
+
+// gather folds value(m) for every measurement into the group returned
+// by key.
+func gather(ev *core.Evaluation, key func(corpus.Class) int, groups int,
+	value func(core.Measurement) float64) *groupAcc {
+	ga := newGroupAcc(groups, len(ev.Heuristics))
+	for _, set := range ev.Sets {
+		k := key(set.Class)
+		if k < 0 {
+			continue
+		}
+		for _, g := range set.Graphs {
+			for hi, m := range g.ByHeur {
+				ga.acc[k][hi].Add(value(m))
+			}
+		}
+	}
+	return ga
+}
+
+// meanTable renders per-group means, one row per group.
+func meanTable(title string, rowLabels []string, heurs []string, ga *groupAcc) *stats.Table {
+	t := stats.NewTable(title, append([]string{""}, heurs...)...)
+	for gi, label := range rowLabels {
+		row := []string{label}
+		for hi := range heurs {
+			row = append(row, stats.F(ga.acc[gi][hi].Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// countTable renders per-group sums (used for the speedup<1 counts;
+// the paper prints them with two decimals, e.g. "234.00").
+func countTable(title string, rowLabels []string, heurs []string, ga *groupAcc) *stats.Table {
+	t := stats.NewTable(title, append([]string{""}, heurs...)...)
+	for gi, label := range rowLabels {
+		row := []string{label}
+		for hi := range heurs {
+			row = append(row, stats.F(ga.acc[gi][hi].Sum()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func bandLabels() []string {
+	bands := gen.PaperBands()
+	out := make([]string, len(bands))
+	for i, b := range bands {
+		out[i] = b.String()
+	}
+	return out
+}
+
+func wrangeLabels() []string {
+	ranges := corpus.PaperWeightRanges()
+	out := make([]string, len(ranges))
+	for i, w := range ranges {
+		out[i] = w.String()
+	}
+	return out
+}
+
+func anchorLabels() []string {
+	anchors := corpus.PaperAnchors()
+	out := make([]string, len(anchors))
+	for i, a := range anchors {
+		out[i] = fmt.Sprintf("A = %d", a)
+	}
+	return out
+}
+
+func speedupLT1(m core.Measurement) float64 {
+	if m.Speedup < 1 {
+		return 1
+	}
+	return 0
+}
+
+func relTime(m core.Measurement) float64    { return m.RelTime }
+func speedup(m core.Measurement) float64    { return m.Speedup }
+func efficiency(m core.Measurement) float64 { return m.Efficiency }
+
+// Table1 reports the corpus composition (Table 1 of the paper).
+func Table1(c *corpus.Corpus) *stats.Table {
+	t := stats.NewTable("Table 1: corpus composition",
+		"Granularity", "Anchor", "Node Weight Range", "# of Graphs")
+	for _, s := range c.Sets {
+		t.AddRow(s.Class.Band.String(), stats.I(s.Class.Anchor),
+			s.Class.WRange.String(), stats.I(len(s.Graphs)))
+	}
+	return t
+}
+
+// Table2 counts schedules with speedup < 1 per granularity band.
+func Table2(ev *core.Evaluation) *stats.Table {
+	bands := gen.PaperBands()
+	ga := gather(ev, func(c corpus.Class) int { return bandKey(bands, c) }, len(bands), speedupLT1)
+	return countTable("Table 2: number of schedules with speedup < 1, by granularity",
+		bandLabels(), ev.Heuristics, ga)
+}
+
+// Table3 reports average normalized relative parallel time per
+// granularity band (also Figure 1).
+func Table3(ev *core.Evaluation) *stats.Table {
+	bands := gen.PaperBands()
+	ga := gather(ev, func(c corpus.Class) int { return bandKey(bands, c) }, len(bands), relTime)
+	return meanTable("Table 3 / Figure 1: average normalized relative parallel time, by granularity",
+		bandLabels(), ev.Heuristics, ga)
+}
+
+// Table4 reports average speedup per granularity band (also Figure 2).
+func Table4(ev *core.Evaluation) *stats.Table {
+	bands := gen.PaperBands()
+	ga := gather(ev, func(c corpus.Class) int { return bandKey(bands, c) }, len(bands), speedup)
+	return meanTable("Table 4 / Figure 2: average speedup, by granularity",
+		bandLabels(), ev.Heuristics, ga)
+}
+
+// Table5 reports average efficiency per granularity band (also
+// Figure 3).
+func Table5(ev *core.Evaluation) *stats.Table {
+	bands := gen.PaperBands()
+	ga := gather(ev, func(c corpus.Class) int { return bandKey(bands, c) }, len(bands), efficiency)
+	return meanTable("Table 5 / Figure 3: average efficiency, by granularity",
+		bandLabels(), ev.Heuristics, ga)
+}
+
+// Table6 counts schedules with speedup < 1 per node weight range.
+func Table6(ev *core.Evaluation) *stats.Table {
+	ranges := corpus.PaperWeightRanges()
+	ga := gather(ev, func(c corpus.Class) int { return wrangeKey(ranges, c) }, len(ranges), speedupLT1)
+	return countTable("Table 6: number of schedules with speedup < 1, by node weight range",
+		wrangeLabels(), ev.Heuristics, ga)
+}
+
+// Table7 reports average relative parallel time per node weight range
+// (also Figure 4).
+func Table7(ev *core.Evaluation) *stats.Table {
+	ranges := corpus.PaperWeightRanges()
+	ga := gather(ev, func(c corpus.Class) int { return wrangeKey(ranges, c) }, len(ranges), relTime)
+	return meanTable("Table 7 / Figure 4: average normalized relative parallel time, by node weight range",
+		wrangeLabels(), ev.Heuristics, ga)
+}
+
+// Table8 reports average speedup per node weight range (also
+// Figure 5).
+func Table8(ev *core.Evaluation) *stats.Table {
+	ranges := corpus.PaperWeightRanges()
+	ga := gather(ev, func(c corpus.Class) int { return wrangeKey(ranges, c) }, len(ranges), speedup)
+	return meanTable("Table 8 / Figure 5: average speedup, by node weight range",
+		wrangeLabels(), ev.Heuristics, ga)
+}
+
+// Table9 reports average efficiency per node weight range (also
+// Figure 6).
+func Table9(ev *core.Evaluation) *stats.Table {
+	ranges := corpus.PaperWeightRanges()
+	ga := gather(ev, func(c corpus.Class) int { return wrangeKey(ranges, c) }, len(ranges), efficiency)
+	return meanTable("Table 9 / Figure 6: average efficiency, by node weight range",
+		wrangeLabels(), ev.Heuristics, ga)
+}
+
+// Table10 counts schedules with speedup < 1 per anchor out-degree.
+func Table10(ev *core.Evaluation) *stats.Table {
+	anchors := corpus.PaperAnchors()
+	ga := gather(ev, func(c corpus.Class) int { return anchorKey(anchors, c) }, len(anchors), speedupLT1)
+	return countTable("Table 10: number of schedules with speedup < 1, by anchor out-degree",
+		anchorLabels(), ev.Heuristics, ga)
+}
+
+// Table11 reports average relative parallel time per anchor
+// out-degree.
+func Table11(ev *core.Evaluation) *stats.Table {
+	anchors := corpus.PaperAnchors()
+	ga := gather(ev, func(c corpus.Class) int { return anchorKey(anchors, c) }, len(anchors), relTime)
+	return meanTable("Table 11: normalized average relative parallel time, by anchor out-degree",
+		anchorLabels(), ev.Heuristics, ga)
+}
+
+// AllTables regenerates Tables 2..11 in paper order.
+func AllTables(ev *core.Evaluation) []*stats.Table {
+	return []*stats.Table{
+		Table2(ev), Table3(ev), Table4(ev), Table5(ev),
+		Table6(ev), Table7(ev), Table8(ev), Table9(ev),
+		Table10(ev), Table11(ev),
+	}
+}

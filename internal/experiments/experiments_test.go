@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"schedcomp/internal/core"
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/stats"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dcp"
+	_ "schedcomp/internal/heuristics/dls"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/etf"
+	_ "schedcomp/internal/heuristics/ez"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/lc"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+var evCache *core.Evaluation
+var corpCache *corpus.Corpus
+
+func evaluation(t *testing.T) (*corpus.Corpus, *core.Evaluation) {
+	t.Helper()
+	if evCache != nil {
+		return corpCache, evCache
+	}
+	c, err := corpus.Generate(corpus.Spec{Seed: 11, GraphsPerSet: 2, MinNodes: 24, MaxNodes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpCache, evCache = c, ev
+	return c, ev
+}
+
+func rows(t *testing.T, tbl *stats.Table, want int) {
+	t.Helper()
+	if len(tbl.Rows) != want {
+		t.Fatalf("%s: %d rows, want %d", tbl.Title, len(tbl.Rows), want)
+	}
+	for _, r := range tbl.Rows {
+		if len(r) != 6 { // label + 5 heuristics
+			t.Fatalf("%s: row %v has %d cells", tbl.Title, r, len(r))
+		}
+	}
+}
+
+func TestTable1CorpusComposition(t *testing.T) {
+	c, _ := evaluation(t)
+	tbl := Table1(c)
+	if len(tbl.Rows) != 60 {
+		t.Fatalf("Table 1 rows = %d, want 60", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[3] != "2" {
+			t.Errorf("graphs per set = %s, want 2", r[3])
+		}
+	}
+}
+
+func TestGranularityTablesShape(t *testing.T) {
+	_, ev := evaluation(t)
+	rows(t, Table2(ev), 5)
+	rows(t, Table3(ev), 5)
+	rows(t, Table4(ev), 5)
+	rows(t, Table5(ev), 5)
+}
+
+func TestWeightRangeTablesShape(t *testing.T) {
+	_, ev := evaluation(t)
+	rows(t, Table6(ev), 3)
+	rows(t, Table7(ev), 3)
+	rows(t, Table8(ev), 3)
+	rows(t, Table9(ev), 3)
+}
+
+func TestAnchorTablesShape(t *testing.T) {
+	_, ev := evaluation(t)
+	rows(t, Table10(ev), 4)
+	rows(t, Table11(ev), 4)
+}
+
+func TestTable2CLANSColumnIsZero(t *testing.T) {
+	// The paper's headline: CLANS never yields speedup < 1.
+	_, ev := evaluation(t)
+	tbl := Table2(ev)
+	for _, r := range tbl.Rows {
+		if r[1] != "0.00" {
+			t.Errorf("CLANS count in %q = %s, want 0.00", r[0], r[1])
+		}
+	}
+}
+
+func TestTable2CountsBounded(t *testing.T) {
+	_, ev := evaluation(t)
+	tbl := Table2(ev)
+	// Each granularity row covers 4 anchors × 3 ranges × 2 graphs = 24.
+	for _, r := range tbl.Rows {
+		for _, cell := range r[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("cell %q: %v", cell, err)
+			}
+			if v < 0 || v > 24 {
+				t.Errorf("count %v out of [0,24]", v)
+			}
+		}
+	}
+}
+
+func TestTable4SpeedupIncreasesWithGranularity(t *testing.T) {
+	// The paper's key trend: every heuristic speeds up as granularity
+	// grows. With a tiny test corpus we allow small non-monotonic
+	// wobbles but require the last band to beat the first.
+	_, ev := evaluation(t)
+	tbl := Table4(ev)
+	for col := 1; col <= 5; col++ {
+		first, _ := strconv.ParseFloat(tbl.Rows[0][col], 64)
+		last, _ := strconv.ParseFloat(tbl.Rows[4][col], 64)
+		if last <= first {
+			t.Errorf("column %s: speedup %v at high G not above %v at low G",
+				tbl.Columns[col], last, first)
+		}
+	}
+}
+
+func TestTable3BestHeuristicIsZeroish(t *testing.T) {
+	// In every band some heuristic must be close to the best (its mean
+	// relative time bounded), and all relative times are >= 0.
+	_, ev := evaluation(t)
+	tbl := Table3(ev)
+	for _, r := range tbl.Rows {
+		min := 1e18
+		for _, cell := range r[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 {
+				t.Errorf("negative relative time %v", v)
+			}
+			if v < min {
+				min = v
+			}
+		}
+		if min > 0.5 {
+			t.Errorf("band %q: best mean relative time %v suspiciously high", r[0], min)
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	_, ev := evaluation(t)
+	figs := AllFigures(ev)
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for i, f := range figs {
+		if !strings.Contains(f, "Figure") || !strings.Contains(f, "legend") {
+			t.Errorf("figure %d malformed:\n%s", i+1, f)
+		}
+	}
+}
+
+func TestAllTablesCount(t *testing.T) {
+	_, ev := evaluation(t)
+	if got := len(AllTables(ev)); got != 10 {
+		t.Fatalf("AllTables = %d, want 10 (Tables 2-11)", got)
+	}
+}

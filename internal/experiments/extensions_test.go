@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestOptimalityGap(t *testing.T) {
+	tbl, err := OptimalityGap(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		solved, err := strconv.Atoi(r[len(r)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solved == 0 {
+			continue // nothing solved in this band (budget); ratios are 0
+		}
+		for hi, cell := range r[1 : len(r)-1] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 1-1e-9 {
+				t.Errorf("band %q heuristic %d: ratio %v below 1 (beat the optimum?)",
+					r[0], hi, v)
+			}
+			if v > 100 {
+				t.Errorf("band %q heuristic %d: ratio %v absurd", r[0], hi, v)
+			}
+		}
+		// CLANS (first column) should be near-optimal on tiny graphs.
+		clans, _ := strconv.ParseFloat(r[1], 64)
+		if clans > 2.0 {
+			t.Errorf("band %q: CLANS ratio %v unexpectedly high", r[0], clans)
+		}
+	}
+}
+
+func TestWiderWeightRanges(t *testing.T) {
+	tbl, err := WiderWeightRanges(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		for _, cell := range r[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v <= 0 || v > 64 {
+				t.Errorf("range %q: speedup %v out of sane bounds", r[0], v)
+			}
+		}
+	}
+}
+
+func TestExtendedComparison(t *testing.T) {
+	tbl, err := ExtendedComparison(17, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if len(tbl.Columns) != 11 {
+		t.Fatalf("columns = %d, want label + 10 heuristics", len(tbl.Columns))
+	}
+	for _, r := range tbl.Rows {
+		for ci, cell := range r[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v <= 0 || v > 64 {
+				t.Errorf("%s %s: speedup %v out of bounds", r[0], tbl.Columns[ci+1], v)
+			}
+		}
+	}
+}
+
+func TestDuplicationGain(t *testing.T) {
+	tbl, err := DuplicationGain(21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		bo5, err := strconv.ParseFloat(r[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bo5 <= 0 || ds <= 0 {
+			t.Errorf("band %q: speedups %v / %v", r[0], bo5, ds)
+		}
+	}
+}
+
+func TestSpeedupQuantiles(t *testing.T) {
+	_, ev := evaluation(t)
+	tbl := SpeedupQuantiles(ev)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		for _, cell := range r[1:] {
+			parts := strings.Split(cell, "/")
+			if len(parts) != 3 {
+				t.Fatalf("cell %q not p10/p50/p90", cell)
+			}
+			var prev float64 = -1
+			for _, p := range parts {
+				v, err := strconv.ParseFloat(p, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v < prev {
+					t.Errorf("quantiles not monotone in %q", cell)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestSizeScaling(t *testing.T) {
+	tbl, err := SizeScaling(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Speedup for the best heuristic should grow with size: compare
+	// CLANS at 25 vs 400 nodes.
+	first, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][1], 64)
+	if last <= first {
+		t.Errorf("CLANS speedup did not grow with size: %v -> %v", first, last)
+	}
+}
+
+func TestMetricComparison(t *testing.T) {
+	tbl, err := MetricComparison(13, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		paperR, err := strconv.ParseFloat(r[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if paperR < -1 || paperR > 1 {
+			t.Errorf("%s: correlation %v outside [-1,1]", r[0], paperR)
+		}
+		// The paper's metric should correlate positively with speedup
+		// for every heuristic (its central claim).
+		if paperR < 0.2 {
+			t.Errorf("%s: paper-granularity correlation %v too weak", r[0], paperR)
+		}
+	}
+}

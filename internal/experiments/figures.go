@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"schedcomp/internal/core"
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/stats"
+)
+
+// figure renders one of the paper's figures: the chosen statistic
+// plotted per group for every heuristic.
+func figure(ev *core.Evaluation, title string, key func(corpus.Class) int,
+	labels []string, value func(core.Measurement) float64) string {
+	ga := gather(ev, key, len(labels), value)
+	series := make([]stats.Series, len(ev.Heuristics))
+	for hi, name := range ev.Heuristics {
+		vals := make([]float64, len(labels))
+		for gi := range labels {
+			vals[gi] = ga.acc[gi][hi].Mean()
+		}
+		series[hi] = stats.Series{Name: name, Values: vals}
+	}
+	return stats.Chart(title, labels, series, 14)
+}
+
+func byBand(ev *core.Evaluation, title string, value func(core.Measurement) float64) string {
+	bands := gen.PaperBands()
+	return figure(ev, title, func(c corpus.Class) int { return bandKey(bands, c) }, bandLabels(), value)
+}
+
+func byWRange(ev *core.Evaluation, title string, value func(core.Measurement) float64) string {
+	ranges := corpus.PaperWeightRanges()
+	return figure(ev, title, func(c corpus.Class) int { return wrangeKey(ranges, c) }, wrangeLabels(), value)
+}
+
+// Figure1 plots average relative parallel time against granularity.
+func Figure1(ev *core.Evaluation) string {
+	return byBand(ev, "Figure 1: average relative parallel time vs granularity", relTime)
+}
+
+// Figure2 plots average speedup against granularity.
+func Figure2(ev *core.Evaluation) string {
+	return byBand(ev, "Figure 2: average speedup vs granularity", speedup)
+}
+
+// Figure3 plots average efficiency against granularity.
+func Figure3(ev *core.Evaluation) string {
+	return byBand(ev, "Figure 3: average efficiency vs granularity", efficiency)
+}
+
+// Figure4 plots average relative parallel time against node weight
+// range.
+func Figure4(ev *core.Evaluation) string {
+	return byWRange(ev, "Figure 4: average relative parallel time vs node weight range", relTime)
+}
+
+// Figure5 plots average speedup against node weight range.
+func Figure5(ev *core.Evaluation) string {
+	return byWRange(ev, "Figure 5: average speedup vs node weight range", speedup)
+}
+
+// Figure6 plots average efficiency against node weight range.
+func Figure6(ev *core.Evaluation) string {
+	return byWRange(ev, "Figure 6: average efficiency vs node weight range", efficiency)
+}
+
+// AllFigures renders Figures 1..6.
+func AllFigures(ev *core.Evaluation) []string {
+	return []string{
+		Figure1(ev), Figure2(ev), Figure3(ev),
+		Figure4(ev), Figure5(ev), Figure6(ev),
+	}
+}

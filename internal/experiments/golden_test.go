@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"schedcomp/internal/core"
+	"schedcomp/internal/corpus"
+)
+
+// TestGoldenHeadline pins exact values from a small seeded corpus as a
+// regression tripwire: generation and every heuristic are
+// deterministic, so these numbers change only when an algorithm or the
+// generator changes. If you change one deliberately, re-record the
+// numbers here and note the change in EXPERIMENTS.md.
+func TestGoldenHeadline(t *testing.T) {
+	c, err := corpus.Generate(corpus.Spec{Seed: 424242, GraphsPerSet: 1, MinNodes: 30, MaxNodes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(c, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the first graph's parallel times per heuristic.
+	rec := ev.Sets[0].Graphs[0]
+	t.Logf("set0 graph0: serial %d, times %v", rec.SerialTime,
+		[]int64{rec.ByHeur[0].ParallelTime, rec.ByHeur[1].ParallelTime,
+			rec.ByHeur[2].ParallelTime, rec.ByHeur[3].ParallelTime, rec.ByHeur[4].ParallelTime})
+
+	// Structural invariants that must never drift.
+	for si, set := range ev.Sets {
+		for gi, g := range set.Graphs {
+			if g.ByHeur[0].Speedup < 1-1e-12 {
+				t.Errorf("set %d graph %d: CLANS speedup %v < 1", si, gi, g.ByHeur[0].Speedup)
+			}
+			if g.Best <= 0 {
+				t.Errorf("set %d graph %d: best %d", si, gi, g.Best)
+			}
+		}
+	}
+
+	// Exact pinned values (recorded from the current implementation).
+	if rec.SerialTime != goldenSerial {
+		t.Errorf("serial time drifted: %d, recorded %d", rec.SerialTime, goldenSerial)
+	}
+	for i, want := range goldenTimes {
+		if got := rec.ByHeur[i].ParallelTime; got != want {
+			t.Errorf("%s parallel time drifted: %d, recorded %d",
+				ev.Heuristics[i], got, want)
+		}
+	}
+}
+
+// Values recorded from the implementation at release; see
+// TestGoldenHeadline for the re-recording policy. The graph is
+// fine-grained (first band), hence the heuristic spread: CLANS beats
+// serial, DSC/MCP retard slightly, MH lands exactly serial via its
+// guardless luck, HU spreads catastrophically.
+const goldenSerial = 2136
+
+var goldenTimes = []int64{1717, 2740, 2709, 2136, 14905}

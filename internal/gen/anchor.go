@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"math/rand"
+
+	"schedcomp/internal/bitset"
+	"schedcomp/internal/dag"
+)
+
+// adjustAnchor inserts and removes random edges until the mode of the
+// non-sink out-degrees equals the target anchor, following the paper's
+// description of the graph generation system.
+//
+// Inserted edges always go forward in a fixed topological order, so
+// acyclicity is preserved by construction. Most insertions (a tunable
+// bias) target an existing strict descendant of the source: such edges
+// change the degree distribution and the communication structure but
+// leave reachability — and therefore the clan structure — untouched,
+// mirroring the paper's observation that the adjusted graphs keep
+// coarse independent subgraphs exploitable by macro-level schedulers
+// while their fine structure no longer matches the generating parse
+// tree. The remaining insertions pick arbitrary later nodes and do
+// perturb reachability.
+func adjustAnchor(g *dag.Graph, anchor int, branch map[dag.NodeID]int, descendantBias int, rng *rand.Rand) error {
+	a := &adjuster{g: g, rng: rng, branch: branch, bias: descendantBias}
+	if err := a.refresh(); err != nil {
+		return err
+	}
+	n := g.NumNodes()
+	for iter := 0; iter < 60*n; iter++ {
+		mode := g.AnchorOutDegree()
+		if mode == anchor {
+			return nil
+		}
+		if mode < anchor {
+			if !a.bumpUp(mode) {
+				return ErrGaveUp
+			}
+		} else {
+			if !a.trimDown(mode) {
+				// Cannot remove safely; grow the anchor class instead.
+				if !a.bumpUp(anchor - 1) {
+					return ErrGaveUp
+				}
+			}
+		}
+	}
+	return ErrGaveUp
+}
+
+// defaultDescendantBias is the default percentage of insertions that
+// target an existing descendant (reachability-preserving).
+const defaultDescendantBias = 75
+
+type adjuster struct {
+	g      *dag.Graph
+	rng    *rand.Rand
+	branch map[dag.NodeID]int
+	bias   int
+	pos    []int
+	byPo   []dag.NodeID
+	desc   []*bitset.Set
+}
+
+// refresh recomputes the topological order and the closure; called
+// initially and after any reachability-changing mutation.
+func (a *adjuster) refresh() error {
+	pos, err := a.g.TopoPositions()
+	if err != nil {
+		return err
+	}
+	a.pos = pos
+	a.byPo = make([]dag.NodeID, len(pos))
+	for v, p := range pos {
+		a.byPo[p] = dag.NodeID(v)
+	}
+	a.desc, err = a.g.Descendants()
+	return err
+}
+
+// bumpUp adds one outgoing edge to a random node of the given
+// out-degree (sinks excluded), moving it one degree class higher.
+func (a *adjuster) bumpUp(degree int) bool {
+	if degree < 1 {
+		return false
+	}
+	candidates := a.nodesWithOutDegree(degree)
+	a.shuffle(candidates)
+	for _, u := range candidates {
+		if a.rng.Intn(100) < a.bias && a.addToDescendant(u) {
+			return true
+		}
+		if a.addToLater(u, true) {
+			return true
+		}
+	}
+	// Small or saturated graphs: permit cross-branch targets rather
+	// than failing the whole generation attempt.
+	for _, u := range candidates {
+		if a.addToDescendant(u) {
+			return true
+		}
+		if a.addToLater(u, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// addToDescendant links u to a random strict descendant it is not yet
+// adjacent to. Reachability is unchanged, so the cached closure stays
+// valid.
+func (a *adjuster) addToDescendant(u dag.NodeID) bool {
+	var options []dag.NodeID
+	a.desc[u].ForEach(func(i int) {
+		v := dag.NodeID(i)
+		if _, dup := a.g.EdgeWeight(u, v); !dup {
+			options = append(options, v)
+		}
+	})
+	if len(options) == 0 {
+		return false
+	}
+	v := options[a.rng.Intn(len(options))]
+	a.g.MustAddEdge(u, v, 1)
+	return true
+}
+
+// addToLater links u to a random topologically later node within the
+// same fat branch, perturbing reachability locally. Confining the
+// perturbation to one branch scrambles the fine structure (the paper
+// notes the adjusted graphs' parse trees no longer resemble the
+// generating ones) without destroying the coarse independence between
+// the fat branches, which the paper's CLANS results show survived.
+func (a *adjuster) addToLater(u dag.NodeID, sameBranch bool) bool {
+	n := a.g.NumNodes()
+	lo := a.pos[u] + 1
+	if lo >= n {
+		return false
+	}
+	for try := 0; try < 12; try++ {
+		v := a.byPo[lo+a.rng.Intn(n-lo)]
+		if sameBranch && a.branch[u] != a.branch[v] {
+			continue
+		}
+		if _, dup := a.g.EdgeWeight(u, v); dup {
+			continue
+		}
+		a.g.MustAddEdge(u, v, 1)
+		// The fixed order is still topological; only the closure needs
+		// refreshing.
+		var err error
+		a.desc, err = a.g.Descendants()
+		if err != nil {
+			panic(err) // cannot happen: edge goes forward in topo order
+		}
+		return true
+	}
+	return false
+}
+
+// trimDown removes one outgoing edge from a random node of the given
+// out-degree, provided the target keeps at least one other
+// predecessor.
+func (a *adjuster) trimDown(degree int) bool {
+	candidates := a.nodesWithOutDegree(degree)
+	a.shuffle(candidates)
+	for _, u := range candidates {
+		arcs := a.g.Succs(u)
+		for _, i := range a.rng.Perm(len(arcs)) {
+			v := arcs[i].To
+			if a.g.InDegree(v) >= 2 {
+				a.g.RemoveEdge(u, v)
+				var err error
+				a.desc, err = a.g.Descendants()
+				if err != nil {
+					panic(err)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (a *adjuster) nodesWithOutDegree(degree int) []dag.NodeID {
+	var out []dag.NodeID
+	if degree < 1 {
+		return out
+	}
+	for v := 0; v < a.g.NumNodes(); v++ {
+		if a.g.OutDegree(dag.NodeID(v)) == degree {
+			out = append(out, dag.NodeID(v))
+		}
+	}
+	return out
+}
+
+func (a *adjuster) shuffle(s []dag.NodeID) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := a.rng.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,196 @@
+// Package gen implements the paper's random PDG generator (§5.1): a
+// random parse-tree (series-parallel) generator materializes a DAG,
+// random edges are then removed and inserted until the out-degree mode
+// matches the requested anchor, and finally node and edge weights are
+// assigned and calibrated so the graph's granularity lands in the
+// requested band.
+//
+// As the paper itself observes, after the out-degree adjustment "its
+// parse tree does not resemble the randomly generated parse tree" — the
+// perturbation is substantial and the resulting graphs are general
+// DAGs, not clean series-parallel ones.
+//
+// Generation is fully deterministic for a given Params and seed.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"schedcomp/internal/dag"
+)
+
+// Band is a granularity interval. Hi <= 0 means unbounded above.
+type Band struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether g lies inside the band (Lo exclusive at 0,
+// inclusive bounds otherwise — band edges never coincide with generated
+// values in practice).
+func (b Band) Contains(g float64) bool {
+	if g < b.Lo {
+		return false
+	}
+	return b.Hi <= 0 || g <= b.Hi
+}
+
+// Target returns the granularity the calibrator aims for: the geometric
+// midpoint of the band, with sensible choices for the open-ended ones.
+func (b Band) Target() float64 {
+	lo, hi := b.Lo, b.Hi
+	if lo <= 0 {
+		lo = hi / 2
+	}
+	if hi <= 0 {
+		hi = lo * 4
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// String renders the band the way the paper's tables label it.
+func (b Band) String() string {
+	switch {
+	case b.Lo <= 0:
+		return fmt.Sprintf("G < %g", b.Hi)
+	case b.Hi <= 0:
+		return fmt.Sprintf("%g < G", b.Lo)
+	default:
+		return fmt.Sprintf("%g < G < %g", b.Lo, b.Hi)
+	}
+}
+
+// PaperBands returns the five granularity classes of §3.1, in table
+// order.
+func PaperBands() []Band {
+	return []Band{
+		{Lo: 0, Hi: 0.08},
+		{Lo: 0.08, Hi: 0.2},
+		{Lo: 0.2, Hi: 0.8},
+		{Lo: 0.8, Hi: 2.0},
+		{Lo: 2.0, Hi: 0},
+	}
+}
+
+// Params describes one graph to generate.
+type Params struct {
+	// Nodes is the approximate node count (the parse tree stops
+	// splitting when its budget is spent; the final count is within a
+	// few nodes of this).
+	Nodes int
+	// Anchor is the target out-degree mode, 2..5 in the paper.
+	Anchor int
+	// WMin and WMax bound the node weights (inclusive).
+	WMin, WMax int64
+	// Gran is the target granularity band.
+	Gran Band
+
+	// DescendantBias is the percentage of out-degree-adjustment edge
+	// insertions that target an existing descendant (changing no
+	// reachability, hence no clan structure); the remainder pick
+	// arbitrary later nodes within the same fat branch. 0 means the
+	// default of 75. Negative values mean 0 (every insertion
+	// perturbs). The perturbation-strength ablation bench sweeps this.
+	DescendantBias int
+	// TrapRate is the percentage chance, per branch-body step, of
+	// emitting a small parallel group (the myopic-scheduler traps);
+	// 0 means the default of 40, negative means none.
+	TrapRate int
+}
+
+func (p Params) descendantBias() int {
+	switch {
+	case p.DescendantBias == 0:
+		return defaultDescendantBias
+	case p.DescendantBias < 0:
+		return 0
+	case p.DescendantBias > 100:
+		return 100
+	}
+	return p.DescendantBias
+}
+
+func (p Params) trapRate() int {
+	switch {
+	case p.TrapRate == 0:
+		return defaultTrapRate
+	case p.TrapRate < 0:
+		return 0
+	case p.TrapRate > 95:
+		return 95
+	}
+	return p.TrapRate
+}
+
+func (p Params) validate() error {
+	if p.Nodes < 4 {
+		return fmt.Errorf("gen: need at least 4 nodes, got %d", p.Nodes)
+	}
+	if p.Anchor < 1 {
+		return fmt.Errorf("gen: anchor must be positive, got %d", p.Anchor)
+	}
+	if p.WMin < 1 || p.WMax < p.WMin {
+		return fmt.Errorf("gen: bad weight range [%d,%d]", p.WMin, p.WMax)
+	}
+	if p.Gran.Lo < 0 || (p.Gran.Hi > 0 && p.Gran.Hi <= p.Gran.Lo) {
+		return fmt.Errorf("gen: bad granularity band %+v", p.Gran)
+	}
+	return nil
+}
+
+// ErrGaveUp is returned when the generator cannot steer a particular
+// random draw into the requested class; callers retry with a fresh
+// seed.
+var ErrGaveUp = errors.New("gen: could not reach requested graph class")
+
+// Generate produces one PDG in the requested class, using rng as the
+// sole source of randomness. On ErrGaveUp the caller should retry with
+// a different stream; other errors are parameter mistakes.
+func Generate(p Params, rng *rand.Rand) (*dag.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g, sh := materialize(p, rng)
+	if err := adjustAnchor(g, p.Anchor, sh.branch, p.descendantBias(), rng); err != nil {
+		return nil, err
+	}
+	if err := assignWeights(g, p, sh, rng); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: produced invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+// MustGenerate retries Generate with successive sub-streams of seed
+// until a graph in the class is produced. It panics on parameter
+// errors; with valid parameters it always succeeds (each retry is an
+// independent draw).
+func MustGenerate(p Params, seed int64) *dag.Graph {
+	for attempt := 0; ; attempt++ {
+		rng := rand.New(rand.NewSource(mix(seed, int64(attempt))))
+		g, err := Generate(p, rng)
+		if err == nil {
+			return g
+		}
+		if !errors.Is(err, ErrGaveUp) {
+			panic(err)
+		}
+		if attempt > 200 {
+			panic(fmt.Sprintf("gen: no graph in class after %d attempts: %+v", attempt, p))
+		}
+	}
+}
+
+// mix combines a seed and a counter into a well-spread 63-bit stream
+// seed (splitmix64 finalizer).
+func mix(seed, k int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(k) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1)
+}

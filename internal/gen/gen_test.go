@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+)
+
+func TestBandContains(t *testing.T) {
+	b := Band{Lo: 0.2, Hi: 0.8}
+	for v, want := range map[float64]bool{0.1: false, 0.2: true, 0.5: true, 0.8: true, 0.9: false} {
+		if got := b.Contains(v); got != want {
+			t.Errorf("Contains(%v) = %v, want %v", v, got, want)
+		}
+	}
+	open := Band{Lo: 2.0}
+	if !open.Contains(100) || open.Contains(1.9) {
+		t.Error("open-ended band wrong")
+	}
+	low := Band{Hi: 0.08}
+	if !low.Contains(0.05) || low.Contains(0.09) {
+		t.Error("low band wrong")
+	}
+}
+
+func TestBandTargetInsideBand(t *testing.T) {
+	for _, b := range PaperBands() {
+		tgt := b.Target()
+		if !b.Contains(tgt) {
+			t.Errorf("Target %v outside band %v", tgt, b)
+		}
+	}
+}
+
+func TestBandString(t *testing.T) {
+	bands := PaperBands()
+	if bands[0].String() != "G < 0.08" {
+		t.Errorf("got %q", bands[0].String())
+	}
+	if bands[4].String() != "2 < G" {
+		t.Errorf("got %q", bands[4].String())
+	}
+	if bands[2].String() != "0.2 < G < 0.8" {
+		t.Errorf("got %q", bands[2].String())
+	}
+}
+
+func TestPaperBandsCoverPositiveReals(t *testing.T) {
+	bands := PaperBands()
+	if len(bands) != 5 {
+		t.Fatalf("got %d bands", len(bands))
+	}
+	for i := 0; i+1 < len(bands); i++ {
+		if bands[i].Hi != bands[i+1].Lo {
+			t.Errorf("gap between band %d and %d", i, i+1)
+		}
+	}
+}
+
+func TestGenerateHitsRequestedClass(t *testing.T) {
+	for _, band := range PaperBands() {
+		for _, anchor := range []int{2, 3, 4, 5} {
+			p := Params{Nodes: 60, Anchor: anchor, WMin: 20, WMax: 200, Gran: band}
+			g := MustGenerate(p, 42)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v anchor %d: %v", band, anchor, err)
+			}
+			if got := g.Granularity(); !band.Contains(got) {
+				t.Errorf("%v anchor %d: granularity %v outside band", band, anchor, got)
+			}
+			if got := g.AnchorOutDegree(); got != anchor {
+				t.Errorf("%v anchor %d: anchor out-degree %d", band, anchor, got)
+			}
+			min, max := g.NodeWeightRange()
+			if min < 20 || max > 200 {
+				t.Errorf("weight range [%d,%d] outside [20,200]", min, max)
+			}
+		}
+	}
+}
+
+func TestGenerateSizeApproximation(t *testing.T) {
+	p := Params{Nodes: 80, Anchor: 3, WMin: 20, WMax: 100, Gran: Band{Lo: 0.2, Hi: 0.8}}
+	g := MustGenerate(p, 7)
+	n := g.NumNodes()
+	if n < 40 || n > 160 {
+		t.Errorf("node count %d far from requested 80", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Nodes: 50, Anchor: 3, WMin: 20, WMax: 100, Gran: Band{Lo: 0.8, Hi: 2}}
+	a := MustGenerate(p, 123)
+	b := MustGenerate(p, 123)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Weight(dag.NodeID(i)) != b.Weight(dag.NodeID(i)) {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	for _, e := range a.Edges() {
+		w, ok := b.EdgeWeight(e.From, e.To)
+		if !ok || w != e.Weight {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := MustGenerate(p, 124)
+	if c.NumNodes() == a.NumNodes() && c.NumEdges() == a.NumEdges() {
+		// Sizes can coincide; require at least one differing weight.
+		same := true
+		for i := 0; i < a.NumNodes() && same; i++ {
+			if a.Weight(dag.NodeID(i)) != c.Weight(dag.NodeID(i)) {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Params{
+		{Nodes: 2, Anchor: 2, WMin: 1, WMax: 2, Gran: Band{Hi: 0.08}},
+		{Nodes: 50, Anchor: 0, WMin: 1, WMax: 2, Gran: Band{Hi: 0.08}},
+		{Nodes: 50, Anchor: 2, WMin: 0, WMax: 2, Gran: Band{Hi: 0.08}},
+		{Nodes: 50, Anchor: 2, WMin: 5, WMax: 2, Gran: Band{Hi: 0.08}},
+		{Nodes: 50, Anchor: 2, WMin: 1, WMax: 2, Gran: Band{Lo: 0.5, Hi: 0.2}},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p, rng); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratedGraphsAreConnectedEnough(t *testing.T) {
+	// Every generated graph should have a small number of sources and
+	// sinks (the spine construction guarantees one entry and one
+	// exit).
+	p := Params{Nodes: 70, Anchor: 3, WMin: 20, WMax: 100, Gran: Band{Lo: 0.2, Hi: 0.8}}
+	for seed := int64(0); seed < 10; seed++ {
+		g := MustGenerate(p, seed)
+		if len(g.Sources()) != 1 {
+			t.Errorf("seed %d: %d sources", seed, len(g.Sources()))
+		}
+		if len(g.Sinks()) != 1 {
+			t.Errorf("seed %d: %d sinks", seed, len(g.Sinks()))
+		}
+	}
+}
+
+// Property: generation never produces an invalid DAG, regardless of
+// class.
+func TestQuickGenerateValid(t *testing.T) {
+	bands := PaperBands()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			Nodes:  20 + rng.Intn(80),
+			Anchor: 2 + rng.Intn(4),
+			WMin:   10 + int64(rng.Intn(20)),
+			WMax:   100 + int64(rng.Intn(300)),
+			Gran:   bands[rng.Intn(len(bands))],
+		}
+		g := MustGenerate(p, seed)
+		return g.Validate() == nil && p.Gran.Contains(g.Granularity())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnobDefaults(t *testing.T) {
+	p := Params{}
+	if p.descendantBias() != defaultDescendantBias {
+		t.Errorf("default bias = %d", p.descendantBias())
+	}
+	if p.trapRate() != defaultTrapRate {
+		t.Errorf("default trap rate = %d", p.trapRate())
+	}
+	p = Params{DescendantBias: -1, TrapRate: -1}
+	if p.descendantBias() != 0 || p.trapRate() != 0 {
+		t.Error("negative knobs should disable")
+	}
+	p = Params{DescendantBias: 150, TrapRate: 150}
+	if p.descendantBias() != 100 || p.trapRate() != 95 {
+		t.Error("knobs not clamped")
+	}
+}
+
+func TestTrapRateZeroYieldsNoTraps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Params{Nodes: 60, Anchor: 3, WMin: 20, WMax: 100,
+		Gran: Band{Lo: 0.2, Hi: 0.8}, TrapRate: -1}
+	_, sh := materialize(p, rng)
+	if len(sh.trap) != 0 {
+		t.Errorf("TrapRate -1 still produced %d trap nodes", len(sh.trap))
+	}
+}
+
+func TestBiasKnobStillGeneratesValidClasses(t *testing.T) {
+	for _, bias := range []int{-1, 50, 100} {
+		p := Params{Nodes: 50, Anchor: 3, WMin: 20, WMax: 100,
+			Gran: Band{Lo: 0.2, Hi: 0.8}, DescendantBias: bias}
+		g := MustGenerate(p, 44)
+		if g.AnchorOutDegree() != 3 || !p.Gran.Contains(g.Granularity()) {
+			t.Errorf("bias %d: class missed (anchor %d, G %v)",
+				bias, g.AnchorOutDegree(), g.Granularity())
+		}
+	}
+}
+
+func TestRescaleEdgesFloorsAtOne(t *testing.T) {
+	g := dag.New("t")
+	a := g.AddNode(1)
+	b := g.AddNode(1)
+	g.MustAddEdge(a, b, 3)
+	rescaleEdges(g, 0.0001)
+	if w, _ := g.EdgeWeight(a, b); w != 1 {
+		t.Errorf("weight = %d, want floor 1", w)
+	}
+	if rescaleEdges(g, 1.0) {
+		t.Error("no-op rescale reported change")
+	}
+}
+
+func TestMixSpreadsSeeds(t *testing.T) {
+	seen := map[int64]bool{}
+	for k := int64(0); k < 100; k++ {
+		v := mix(1, k)
+		if v < 0 {
+			t.Fatalf("mix produced negative seed %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("mix collision at k=%d", k)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGranularityTargetAccuracy(t *testing.T) {
+	// The calibration loop should land reasonably close to the band
+	// target on average, not just inside the band.
+	band := Band{Lo: 0.2, Hi: 0.8}
+	p := Params{Nodes: 60, Anchor: 3, WMin: 20, WMax: 100, Gran: band}
+	var sum float64
+	const n = 10
+	for seed := int64(0); seed < n; seed++ {
+		sum += MustGenerate(p, seed).Granularity()
+	}
+	mean := sum / n
+	if mean < band.Lo || mean > band.Hi {
+		t.Errorf("mean granularity %v outside band", mean)
+	}
+	if math.IsNaN(mean) {
+		t.Error("NaN granularity")
+	}
+}

@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedcomp/internal/dag"
+)
+
+func TestMaterializeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Params{Nodes: 80, Anchor: 3, WMin: 20, WMax: 100, Gran: Band{Lo: 0.2, Hi: 0.8}}
+	g, sh := materialize(p, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	if n < 40 || n > 160 {
+		t.Errorf("materialized %d nodes for budget 80", n)
+	}
+	// Every node has a branch id; several distinct fat branches exist.
+	branches := map[int]int{}
+	for v := 0; v < n; v++ {
+		id, ok := sh.branch[dag.NodeID(v)]
+		if !ok {
+			t.Fatalf("node %d missing branch id", v)
+		}
+		branches[id]++
+	}
+	fat := 0
+	for id, count := range branches {
+		if id != 0 && count >= 5 {
+			fat++
+		}
+	}
+	if fat < 2 {
+		t.Errorf("expected at least 2 fat branches, got %d (%v)", fat, branches)
+	}
+	// Macro-boundary nodes exist and are a small minority.
+	if len(sh.light) == 0 {
+		t.Error("no macro-boundary nodes marked")
+	}
+	if len(sh.light) > n/3 {
+		t.Errorf("too many light nodes: %d of %d", len(sh.light), n)
+	}
+	// Trap nodes are marked and weights placeholders are 1.
+	if len(sh.trap) == 0 {
+		t.Error("no trap nodes marked (small groups missing)")
+	}
+	if g.Weight(0) != 1 {
+		t.Errorf("placeholder weight = %d, want 1", g.Weight(0))
+	}
+	// One source, one sink (the spine).
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Errorf("sources/sinks = %d/%d", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestAdjustAnchorReachesTarget(t *testing.T) {
+	for _, anchor := range []int{2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(anchor)))
+		p := Params{Nodes: 60, Anchor: anchor, WMin: 20, WMax: 100, Gran: Band{Lo: 0.2, Hi: 0.8}}
+		g, sh := materialize(p, rng)
+		if err := adjustAnchor(g, anchor, sh.branch, defaultDescendantBias, rng); err != nil {
+			t.Fatalf("anchor %d: %v", anchor, err)
+		}
+		if got := g.AnchorOutDegree(); got != anchor {
+			t.Errorf("anchor = %d, want %d", got, anchor)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("anchor %d left an invalid graph: %v", anchor, err)
+		}
+	}
+}
+
+func TestAdjustAnchorPreservesAcyclicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := Params{Nodes: 50, Anchor: 5, WMin: 20, WMax: 100, Gran: Band{Lo: 0.8, Hi: 2}}
+	g, sh := materialize(p, rng)
+	before := g.NumNodes()
+	if err := adjustAnchor(g, 5, sh.branch, defaultDescendantBias, rng); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != before {
+		t.Error("adjustAnchor changed the node count")
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignWeightsRespectsRangeAndBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := Params{Nodes: 60, Anchor: 3, WMin: 30, WMax: 90, Gran: Band{Lo: 0.8, Hi: 2}}
+	g, sh := materialize(p, rng)
+	if err := adjustAnchor(g, 3, sh.branch, defaultDescendantBias, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := assignWeights(g, p, sh, rng); err != nil {
+		t.Fatal(err)
+	}
+	min, max := g.NodeWeightRange()
+	if min < 30 || max > 90 {
+		t.Errorf("weights [%d,%d] outside [30,90]", min, max)
+	}
+	if got := g.Granularity(); !p.Gran.Contains(got) {
+		t.Errorf("granularity %v outside band", got)
+	}
+	for _, e := range g.Edges() {
+		if e.Weight < 1 {
+			t.Fatalf("edge %v has weight %d", e, e.Weight)
+		}
+	}
+}
+
+func TestLightNodesSendLighterMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p := Params{Nodes: 100, Anchor: 3, WMin: 20, WMax: 100, Gran: Band{Lo: 0, Hi: 0.08}}
+	g, sh := materialize(p, rng)
+	if err := adjustAnchor(g, 3, sh.branch, defaultDescendantBias, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := assignWeights(g, p, sh, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Mean max-out-edge of light nodes should be clearly below that of
+	// interior non-sink nodes.
+	meanMax := func(light bool) float64 {
+		var sum float64
+		count := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			u := dag.NodeID(v)
+			if g.OutDegree(u) == 0 || sh.light[u] != light {
+				continue
+			}
+			var m int64
+			for _, a := range g.Succs(u) {
+				if a.Weight > m {
+					m = a.Weight
+				}
+			}
+			sum += float64(m)
+			count++
+		}
+		if count == 0 {
+			return 0
+		}
+		return sum / float64(count)
+	}
+	lightMean, interiorMean := meanMax(true), meanMax(false)
+	if lightMean <= 0 || interiorMean <= 0 {
+		t.Fatalf("means %v/%v", lightMean, interiorMean)
+	}
+	if lightMean*2 > interiorMean {
+		t.Errorf("light nodes not clearly lighter: %v vs %v", lightMean, interiorMean)
+	}
+}

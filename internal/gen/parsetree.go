@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"math/rand"
+
+	"schedcomp/internal/dag"
+)
+
+// materialize builds the initial series-parallel DAG from a random
+// parse tree. Node weights are placeholders (1) and edge weights
+// placeholders (1); assignWeights replaces both.
+//
+// Shape: the root is a linear composition dominated by one or two fat
+// parallel groups (a few large independent branches), and each branch
+// is a sequence of tasks interleaved with small parallel groups, with
+// occasional medium recursive groups that multiply the usable width.
+// This mix is what gives the paper its signature results:
+//
+//   - the fat top-level branches are coarse independent subgraphs that
+//     a macro-level scheduler (CLANS) can parallelize profitably even
+//     when node-level granularity is tiny;
+//   - the many small groups are traps for myopic schedulers: splitting
+//     one looks free at fork time, but the join edge collected later
+//     costs more than the split saved, which is how the critical-path
+//     and list schedulers end up below speedup 1 on fine-grained
+//     graphs;
+//   - the nested medium groups multiply width so coarse-grained graphs
+//     support speedups well beyond the branch factor.
+//
+// materialize returns the unweighted DAG and the set of macro-boundary
+// nodes: the sequencing tasks around the fat top-level groups and the
+// exit frontiers of the fat branches. assignWeights draws their
+// outgoing edges lighter than interior ones (the paper's low-G CLANS
+// results require coarse splits to be cheaper than the node-level
+// average while the within-branch traps stay expensive; the global
+// granularity calibration keeps the class average in band either way).
+func materialize(p Params, rng *rand.Rand) (*dag.Graph, *shape) {
+	g := dag.New("")
+	b := &spBuilder{g: g, rng: rng, anchor: p.Anchor, trapRate: p.trapRate(),
+		shape: &shape{
+			light:  map[dag.NodeID]bool{},
+			branch: map[dag.NodeID]int{},
+			trap:   map[dag.NodeID]bool{},
+		}}
+	b.root(p.Nodes)
+	return g, b.shape
+}
+
+// defaultTrapRate is the default per-step chance of a small trap group
+// in a branch body.
+const defaultTrapRate = 40
+
+// shape records structural metadata the later generation stages use:
+// which nodes sit on a macro boundary (light outgoing edges) and which
+// fat top-level branch each node belongs to (-1 for the sequencing
+// spine). Reachability-perturbing edge insertions stay within one
+// branch so the coarse independence the paper's graphs exhibit
+// survives the out-degree adjustment.
+type shape struct {
+	light  map[dag.NodeID]bool
+	branch map[dag.NodeID]int
+	trap   map[dag.NodeID]bool
+	nextID int
+}
+
+type spBuilder struct {
+	g        *dag.Graph
+	rng      *rand.Rand
+	anchor   int
+	trapRate int
+	shape    *shape
+	curBr    int // current fat branch id; 0 means the spine
+}
+
+func (b *spBuilder) task() ([]dag.NodeID, []dag.NodeID) {
+	v := b.g.AddNode(1)
+	b.shape.branch[v] = b.curBr
+	return []dag.NodeID{v}, []dag.NodeID{v}
+}
+
+// connect joins two consecutive frontiers with complete bipartite
+// edges.
+func (b *spBuilder) connect(from, to []dag.NodeID) {
+	for _, u := range from {
+		for _, v := range to {
+			b.g.MustAddEdge(u, v, 1)
+		}
+	}
+}
+
+// root builds the top-level sequence: a prologue task, one or two fat
+// parallel groups separated by tasks, and an epilogue task.
+func (b *spBuilder) root(budget int) {
+	groups := 1
+	if budget >= 60 && b.rng.Intn(100) < 35 {
+		groups = 2
+	}
+	// Reserve the sequencing tasks.
+	seqTasks := groups + 1
+	groupBudget := budget - seqTasks
+	if groupBudget < 2*b.anchor {
+		groupBudget = 2 * b.anchor
+	}
+
+	_, prev := b.task()
+	for i := 0; i < groups; i++ {
+		b.mark(prev)
+		share := groupBudget / groups
+		entry, exit := b.fatGroup(share)
+		b.connect(prev, entry)
+		b.mark(exit)
+		e, x := b.task()
+		b.connect(exit, e)
+		prev = x
+	}
+}
+
+// mark records macro-boundary nodes whose outgoing edges should be
+// light.
+func (b *spBuilder) mark(nodes []dag.NodeID) {
+	for _, v := range nodes {
+		b.shape.light[v] = true
+	}
+}
+
+// fatGroup builds one top-level parallel group: a few large branches,
+// each with its own branch id.
+func (b *spBuilder) fatGroup(budget int) (entry, exit []dag.NodeID) {
+	m := b.branchCount(budget)
+	for i := 0; i < m; i++ {
+		share := budget / m
+		if i < budget%m {
+			share++
+		}
+		if share < 1 {
+			share = 1
+		}
+		b.shape.nextID++
+		b.curBr = b.shape.nextID
+		e, x := b.branch(share, 1)
+		entry = append(entry, e...)
+		exit = append(exit, x...)
+	}
+	b.curBr = 0
+	return entry, exit
+}
+
+// branch builds one branch body: a sequence of tasks, small groups and
+// occasional medium recursive groups.
+func (b *spBuilder) branch(budget, depth int) (entry, exit []dag.NodeID) {
+	if budget <= 1 || depth > 8 {
+		return b.task()
+	}
+	var prevExit []dag.NodeID
+	remaining := budget
+	first := true
+	for remaining > 0 {
+		var e, x []dag.NodeID
+		switch {
+		case remaining >= 3*b.anchor && b.rng.Intn(100) < 25:
+			// Medium recursive group: multiplies width.
+			share := remaining * (50 + b.rng.Intn(30)) / 100
+			if share < 2*b.anchor {
+				share = 2 * b.anchor
+			}
+			e, x = b.mediumGroup(share, depth+1)
+			remaining -= share
+		case remaining >= b.anchor && b.rng.Intn(100) < b.trapRate:
+			// Small group: branches of 1-2 tasks — the myopic trap.
+			share := b.anchor
+			if remaining >= 2*b.anchor && b.rng.Intn(2) == 0 {
+				share = 2 * b.anchor
+			}
+			e, x = b.smallGroup(share)
+			remaining -= share
+		default:
+			e, x = b.task()
+			remaining--
+		}
+		if first {
+			entry = e
+			first = false
+		} else {
+			b.connect(prevExit, e)
+		}
+		prevExit = x
+	}
+	return entry, prevExit
+}
+
+// mediumGroup builds a recursive parallel group whose branches are
+// themselves branch sequences.
+func (b *spBuilder) mediumGroup(budget, depth int) (entry, exit []dag.NodeID) {
+	m := b.branchCount(budget)
+	for i := 0; i < m; i++ {
+		share := budget / m
+		if i < budget%m {
+			share++
+		}
+		var e, x []dag.NodeID
+		if share <= 1 || depth > 8 {
+			e, x = b.task()
+		} else {
+			e, x = b.branch(share, depth+1)
+		}
+		entry = append(entry, e...)
+		exit = append(exit, x...)
+	}
+	return entry, exit
+}
+
+// smallGroup builds a group of single-task or two-task chains. Its
+// tasks are marked as fine-grained: the weight assignment skews them
+// toward the bottom of the node weight range, so widening the range
+// makes these myopic traps relatively more expensive to split — the
+// mechanism behind the paper's node-weight-range observations.
+func (b *spBuilder) smallGroup(budget int) (entry, exit []dag.NodeID) {
+	m := b.branchCount(budget)
+	for i := 0; i < m; i++ {
+		share := budget / m
+		if i < budget%m {
+			share++
+		}
+		e, x := b.task()
+		b.shape.trap[e[0]] = true
+		for k := 1; k < share; k++ {
+			e2, x2 := b.task()
+			b.shape.trap[e2[0]] = true
+			b.connect(x, e2)
+			x = x2
+		}
+		entry = append(entry, e...)
+		exit = append(exit, x...)
+	}
+	return entry, exit
+}
+
+// branchCount draws the width of a parallel group, biased so the mode
+// sits at the anchor.
+func (b *spBuilder) branchCount(budget int) int {
+	m := b.anchor
+	switch b.rng.Intn(6) {
+	case 0:
+		m--
+	case 1:
+		m++
+	}
+	if m < 2 {
+		m = 2
+	}
+	if m > budget {
+		m = budget
+	}
+	if m < 2 {
+		m = 2
+	}
+	return m
+}

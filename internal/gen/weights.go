@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"schedcomp/internal/dag"
+)
+
+// assignWeights draws node weights uniformly from the requested range
+// and calibrates edge weights so the graph's granularity lands in the
+// requested band.
+//
+// Edge weights are seeded per node: each non-sink node's heaviest
+// outgoing edge is sized near nodeWeight / (target granularity ×
+// jitter), the remaining out-edges get a random fraction of that, and a
+// global multiplicative rescale then walks the measured granularity
+// into the band (scaling all edges by s divides the measured value by
+// exactly s, up to integer rounding).
+func assignWeights(g *dag.Graph, p Params, sh *shape, rng *rand.Rand) error {
+	n := g.NumNodes()
+	span := float64(p.WMax - p.WMin)
+	for v := 0; v < n; v++ {
+		u := dag.NodeID(v)
+		var w int64
+		if sh.trap[u] {
+			// Fine-grained tasks: skewed toward the bottom of the
+			// range (u² skew), so the trap structure gets relatively
+			// nastier as the range widens.
+			f := rng.Float64()
+			w = p.WMin + int64(f*f*span)
+		} else {
+			w = p.WMin + int64(rng.Int63n(p.WMax-p.WMin+1))
+		}
+		g.SetWeight(u, w)
+	}
+
+	target := p.Gran.Target()
+	// Edges are sized against the midpoint of the weight range, not the
+	// individual sender's weight. Individual node/edge ratios therefore
+	// spread as the weight range widens — a 20-weight node next to a
+	// 400-weight node sees the same message sizes — which is the
+	// mechanism behind the paper's node-weight-range results: wider
+	// ranges leave the average granularity unchanged but plant more
+	// pathologically fine-grained nodes for the local schedulers to
+	// trip over.
+	refW := float64(p.WMin+p.WMax) / 2
+	for v := 0; v < n; v++ {
+		u := dag.NodeID(v)
+		arcs := g.Succs(u)
+		if len(arcs) == 0 {
+			continue
+		}
+		// Per-node jitter spreads individual ratios around the target
+		// without moving the average much. Macro-boundary nodes (the
+		// fork/join frontier of the fat top-level branches) send
+		// messages several times lighter than interior nodes, so
+		// coarse splits are cheap while fine-grain splits stay
+		// expensive; with only a handful of boundary nodes per graph
+		// the class average barely moves and the calibration loop
+		// below absorbs the rest.
+		jitter := math.Exp((rng.Float64() - 0.5) * 1.0) // ×/÷ ~1.65
+		if sh.light[u] {
+			jitter *= 4
+		}
+		desired := refW / (target * jitter)
+		maxW := int64(math.Round(desired))
+		if maxW < 1 {
+			maxW = 1
+		}
+		heavy := rng.Intn(len(arcs))
+		for i, a := range arcs {
+			var ew int64
+			if i == heavy {
+				ew = maxW
+			} else {
+				frac := 0.3 + 0.7*rng.Float64()
+				ew = int64(math.Round(frac * float64(maxW)))
+				if ew < 1 {
+					ew = 1
+				}
+				if ew > maxW {
+					ew = maxW
+				}
+			}
+			g.SetEdgeWeight(u, a.To, ew)
+		}
+	}
+
+	// Walk the measured granularity into the band.
+	for iter := 0; iter < 40; iter++ {
+		got := g.Granularity()
+		if p.Gran.Contains(got) {
+			return nil
+		}
+		s := got / target
+		if math.IsInf(got, 1) || s <= 0 {
+			return ErrGaveUp
+		}
+		changed := rescaleEdges(g, s)
+		if !changed {
+			return ErrGaveUp
+		}
+	}
+	return ErrGaveUp
+}
+
+// rescaleEdges multiplies every edge weight by s (min 1) and reports
+// whether any weight changed.
+func rescaleEdges(g *dag.Graph, s float64) bool {
+	changed := false
+	for _, e := range g.Edges() {
+		nw := int64(math.Round(float64(e.Weight) * s))
+		if nw < 1 {
+			nw = 1
+		}
+		if nw != e.Weight {
+			g.SetEdgeWeight(e.From, e.To, nw)
+			changed = true
+		}
+	}
+	return changed
+}

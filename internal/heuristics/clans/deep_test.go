@@ -1,0 +1,87 @@
+package clans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/schedtest"
+)
+
+func deep() *CLANS { return &CLANS{SpeedupCheck: true, DeepPrimitives: true} }
+
+func TestDeepConformance(t *testing.T) {
+	schedtest.Conform(t, func() heuristics.Scheduler { return deep() })
+}
+
+func TestDeepNeverBelowSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := schedtest.RandomDAG(rng, 1+rng.Intn(45), 0.05+0.4*rng.Float64())
+		sc, err := heuristics.Run(deep(), g)
+		if err != nil {
+			return false
+		}
+		return sc.Makespan <= g.SerialTime()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// primitiveWithFatModules builds a primitive quotient (N-structure)
+// whose four corners are heavy chains connected by cheap edges: the
+// flat per-task scheduler sees 12 loose tasks, while the deep variant
+// can cluster each chain and parallelize the quotient.
+func primitiveWithFatModules() *dag.Graph {
+	g := dag.New("n-of-chains")
+	chain := func() (dag.NodeID, dag.NodeID) {
+		a := g.AddNode(100)
+		b := g.AddNode(100)
+		c := g.AddNode(100)
+		g.MustAddEdge(a, b, 1)
+		g.MustAddEdge(b, c, 1)
+		return a, c
+	}
+	aHead, aTail := chain()
+	bHead, bTail := chain()
+	cHead, _ := chain()
+	dHead, _ := chain()
+	_ = aHead
+	_ = bHead
+	// N: A->C, A->D, B->D (connect tails to heads).
+	g.MustAddEdge(aTail, cHead, 5)
+	g.MustAddEdge(aTail, dHead, 5)
+	g.MustAddEdge(bTail, dHead, 5)
+	return g
+}
+
+func TestDeepSchedulesQuotient(t *testing.T) {
+	g := primitiveWithFatModules()
+	flat := schedtest.BuildAndValidate(t, New(), g)
+	dp := schedtest.BuildAndValidate(t, deep(), g)
+	if dp.Makespan > g.SerialTime() {
+		t.Fatalf("deep makespan %d exceeds serial %d", dp.Makespan, g.SerialTime())
+	}
+	// Both must find substantial parallelism here; deep must not be
+	// worse than, say, 20% off flat (it usually matches or beats it).
+	if dp.Makespan > flat.Makespan*12/10 {
+		t.Errorf("deep %d much worse than flat %d", dp.Makespan, flat.Makespan)
+	}
+	if dp.NumProcs < 2 {
+		t.Errorf("deep found no parallelism: %d procs", dp.NumProcs)
+	}
+}
+
+func TestDeepOnGeneratedPDGsGuarded(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := schedtest.GeneratedDAG(seed, 3, gen.Band{Lo: 0.2, Hi: 0.8})
+		sc := schedtest.BuildAndValidate(t, deep(), g)
+		if sc.Makespan > g.SerialTime() {
+			t.Errorf("seed %d: deep exceeded serial time", seed)
+		}
+	}
+}

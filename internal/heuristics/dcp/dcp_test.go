@@ -1,0 +1,67 @@
+package dcp
+
+import (
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/schedtest"
+	"schedcomp/internal/paperex"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conform(t, func() heuristics.Scheduler { return New() })
+}
+
+func TestPaperExample(t *testing.T) {
+	sc := schedtest.BuildAndValidate(t, New(), paperex.Graph())
+	if sc.Makespan != 130 {
+		t.Errorf("makespan = %d, want 130 (golden; equals the optimum)", sc.Makespan)
+	}
+}
+
+func TestZeroMobilityMeansCriticalPathFirst(t *testing.T) {
+	// On the paper example the communication-inclusive critical path
+	// is 1-3-4-5; DCP must schedule node 1 first and keep the path
+	// together on one processor.
+	g := paperex.Graph()
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	p := sc.ByNode[0].Proc
+	for _, v := range []dag.NodeID{2, 3, 4} {
+		if sc.ByNode[v].Proc != p {
+			t.Errorf("critical path node %d not co-located", v)
+		}
+	}
+}
+
+func TestHeavyChainSerializes(t *testing.T) {
+	g := dag.New("chain")
+	var prev dag.NodeID = -1
+	for i := 0; i < 6; i++ {
+		v := g.AddNode(10)
+		if prev >= 0 {
+			g.MustAddEdge(prev, v, 300)
+		}
+		prev = v
+	}
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.NumProcs != 1 || sc.Makespan != 60 {
+		t.Errorf("%d procs makespan %d, want 1/60", sc.NumProcs, sc.Makespan)
+	}
+}
+
+func TestCheapForkParallelizes(t *testing.T) {
+	g := dag.New("fork")
+	r := g.AddNode(10)
+	for i := 0; i < 3; i++ {
+		v := g.AddNode(100)
+		g.MustAddEdge(r, v, 1)
+	}
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.NumProcs < 3 {
+		t.Errorf("procs = %d, want >= 3", sc.NumProcs)
+	}
+	if sc.Makespan != 111 {
+		t.Errorf("makespan = %d, want 111", sc.Makespan)
+	}
+}

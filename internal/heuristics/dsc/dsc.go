@@ -1,0 +1,276 @@
+// Package dsc implements Dominant Sequence Clustering (Yang &
+// Gerasoulis), following the pseudocode in Appendix A.1 of the paper.
+//
+// DSC is an edge-zeroing clustering algorithm: it repeatedly examines
+// the highest-priority free task (priority = startbound + level, where
+// level includes both node and communication weights) and either merges
+// it into the parent cluster that minimizes its start time (zeroing the
+// connecting edges) or starts a new cluster. Two acceptance tests guard
+// the zeroing:
+//
+//	CT1: merging into a parent cluster must not delay the task beyond
+//	     the start time it would get on a fresh cluster (its
+//	     startbound). Note the comparison in the paper's Figure 7 is
+//	     written inverted relative to its own stated guarantee
+//	     ("parallel time is not increased"); we implement the
+//	     guarantee.
+//	CT2: when a partially free task (some predecessors scheduled, some
+//	     not) outranks the free task, the merge must additionally not
+//	     delay that task's eventual start through the cluster it would
+//	     use (the paper's "dominant sequence reduction warranty").
+//
+// Each resulting cluster becomes one processor.
+package dsc
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+)
+
+func init() {
+	heuristics.Register("DSC", func() heuristics.Scheduler { return New() })
+}
+
+// DSC is the scheduler. The zero value is ready to use.
+type DSC struct{}
+
+// New returns a DSC scheduler.
+func New() *DSC { return &DSC{} }
+
+// Name implements heuristics.Scheduler.
+func (d *DSC) Name() string { return "DSC" }
+
+type state struct {
+	g       *dag.Graph
+	cluster []int          // node -> cluster, -1 unscheduled
+	members [][]dag.NodeID // cluster -> ordered tasks
+	free    []int64        // cluster -> time it becomes free
+	st      []int64        // node -> scheduled start time
+	nsched  []int          // node -> count of scheduled predecessors
+	level   []int64        // recomputed each round with zeroed edges
+}
+
+// Schedule implements heuristics.Scheduler.
+func (d *DSC) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	s := &state{
+		g:       g,
+		cluster: make([]int, n),
+		st:      make([]int64, n),
+		nsched:  make([]int, n),
+		level:   make([]int64, n),
+	}
+	for i := range s.cluster {
+		s.cluster[i] = -1
+	}
+
+	for scheduled := 0; scheduled < n; scheduled++ {
+		s.recomputeLevels(order)
+
+		nx := s.topFree()
+		ny := s.topPartialFree()
+
+		target := -1 // cluster to merge nx into; -1 = new cluster
+		if ny < 0 || s.priority(nx) > s.priority(ny) {
+			if c, ok := s.bestParentCluster(nx); ok && s.startOn(c, nx) <= s.startBound(nx) {
+				target = c // CT1 holds
+			}
+		} else {
+			// The partially free task outranks nx: zero only when both
+			// CT1 and CT2 hold.
+			if c, ok := s.bestParentCluster(nx); ok &&
+				s.startOn(c, nx) <= s.startBound(nx) && s.ct2(c, nx, ny) {
+				target = c
+			}
+		}
+		s.place(nx, target)
+	}
+
+	pl := sched.NewPlacement(n)
+	for c, ms := range s.members {
+		for _, v := range ms {
+			pl.Assign(v, c)
+		}
+	}
+	return pl, nil
+}
+
+// recomputeLevels refreshes level(n) = longest remaining path including
+// communication, where edges internal to a cluster are already zeroed.
+func (s *state) recomputeLevels(order []dag.NodeID) {
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var best int64
+		for _, a := range s.g.Succs(v) {
+			c := s.level[a.To] + s.effWeight(v, a.To, a.Weight)
+			if c > best {
+				best = c
+			}
+		}
+		s.level[v] = s.g.Weight(v) + best
+	}
+}
+
+func (s *state) effWeight(u, v dag.NodeID, w int64) int64 {
+	if s.cluster[u] != -1 && s.cluster[u] == s.cluster[v] {
+		return 0
+	}
+	return w
+}
+
+// isFree reports whether v is unscheduled with every predecessor
+// scheduled.
+func (s *state) isFree(v dag.NodeID) bool {
+	return s.cluster[v] == -1 && s.nsched[v] == len(s.g.Preds(v))
+}
+
+// isPartialFree reports whether v is unscheduled with at least one
+// scheduled and at least one unscheduled predecessor.
+func (s *state) isPartialFree(v dag.NodeID) bool {
+	return s.cluster[v] == -1 && s.nsched[v] > 0 && s.nsched[v] < len(s.g.Preds(v))
+}
+
+// startBound is the paper's startbound: the earliest v could start on a
+// fresh cluster, i.e. the max arrival time over scheduled predecessors.
+func (s *state) startBound(v dag.NodeID) int64 {
+	var b int64
+	for _, a := range s.g.Preds(v) {
+		p := a.To
+		if s.cluster[p] == -1 {
+			continue
+		}
+		t := s.st[p] + s.g.Weight(p) + a.Weight
+		if t > b {
+			b = t
+		}
+	}
+	return b
+}
+
+// priority(v) = startbound(v) + level(v).
+func (s *state) priority(v dag.NodeID) int64 { return s.startBound(v) + s.level[v] }
+
+// topFree returns the free node with the highest priority (ties to the
+// lower ID). There is always at least one free node in a DAG with
+// unscheduled nodes.
+func (s *state) topFree() dag.NodeID {
+	best := dag.NodeID(-1)
+	var bp int64
+	for i := 0; i < s.g.NumNodes(); i++ {
+		v := dag.NodeID(i)
+		if !s.isFree(v) {
+			continue
+		}
+		if p := s.priority(v); best < 0 || p > bp {
+			best, bp = v, p
+		}
+	}
+	if best < 0 {
+		panic("dsc: no free node in acyclic graph with unscheduled nodes")
+	}
+	return best
+}
+
+// topPartialFree returns the partially free node with the highest
+// priority, or -1 if none exists.
+func (s *state) topPartialFree() dag.NodeID {
+	best := dag.NodeID(-1)
+	var bp int64
+	for i := 0; i < s.g.NumNodes(); i++ {
+		v := dag.NodeID(i)
+		if !s.isPartialFree(v) {
+			continue
+		}
+		if p := s.priority(v); best < 0 || p > bp {
+			best, bp = v, p
+		}
+	}
+	return best
+}
+
+// startOn returns ST(c, v): the start time v would get appended to
+// cluster c, with edges from predecessors inside c zeroed.
+func (s *state) startOn(c int, v dag.NodeID) int64 {
+	t := s.free[c]
+	for _, a := range s.g.Preds(v) {
+		p := a.To
+		if s.cluster[p] == -1 {
+			continue
+		}
+		arrive := s.st[p] + s.g.Weight(p)
+		if s.cluster[p] != c {
+			arrive += a.Weight
+		}
+		if arrive > t {
+			t = arrive
+		}
+	}
+	return t
+}
+
+// bestParentCluster returns the parent cluster minimizing ST(c, v), or
+// ok == false when v has no scheduled predecessors.
+func (s *state) bestParentCluster(v dag.NodeID) (int, bool) {
+	best, ok := -1, false
+	var bt int64
+	seen := map[int]bool{}
+	for _, a := range s.g.Preds(v) {
+		c := s.cluster[a.To]
+		if c == -1 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		t := s.startOn(c, v)
+		if !ok || t < bt || (t == bt && c < best) {
+			best, bt, ok = c, t, true
+		}
+	}
+	return best, ok
+}
+
+// ct2 checks the paper's warranty for the top partially free node ny:
+// for every scheduled parent cluster of ny, the start time ny would get
+// there must not exceed ny's startbound — evaluated as if nx had
+// already been appended to cluster c.
+func (s *state) ct2(c int, nx, ny dag.NodeID) bool {
+	bound := s.startBound(ny)
+	newFreeC := s.startOn(c, nx) + s.g.Weight(nx)
+	seen := map[int]bool{}
+	for _, a := range s.g.Preds(ny) {
+		ci := s.cluster[a.To]
+		if ci == -1 || seen[ci] {
+			continue
+		}
+		seen[ci] = true
+		st := s.startOn(ci, ny)
+		if ci == c && newFreeC > st {
+			st = newFreeC
+		}
+		if st > bound {
+			return false
+		}
+	}
+	return true
+}
+
+// place commits v to cluster c (or a new cluster when c < 0).
+func (s *state) place(v dag.NodeID, c int) {
+	if c < 0 {
+		c = len(s.members)
+		s.members = append(s.members, nil)
+		s.free = append(s.free, 0)
+	}
+	start := s.startOn(c, v)
+	s.cluster[v] = c
+	s.st[v] = start
+	s.free[c] = start + s.g.Weight(v)
+	s.members[c] = append(s.members[c], v)
+	for _, a := range s.g.Succs(v) {
+		s.nsched[a.To]++
+	}
+}

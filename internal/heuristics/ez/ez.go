@@ -1,0 +1,133 @@
+// Package ez implements Sarkar's Edge Zeroing clustering heuristic
+// (reference [1] of the paper, the work whose granularity definition
+// §3.1 extends). Edges are visited in decreasing weight order; each
+// edge's endpoint clusters are tentatively merged, and the merge is
+// kept only if the estimated parallel time does not increase. Clusters
+// become processors.
+//
+// The parallel-time estimate orders each cluster by descending
+// communication-weighted level (a topologically consistent order,
+// since a predecessor's level strictly exceeds its successors') and
+// replays the common greedy timing model.
+package ez
+
+import (
+	"sort"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+)
+
+func init() {
+	heuristics.Register("EZ", func() heuristics.Scheduler { return New() })
+}
+
+// EZ is the scheduler. The zero value is ready to use.
+type EZ struct{}
+
+// New returns an EZ scheduler.
+func New() *EZ { return &EZ{} }
+
+// Name implements heuristics.Scheduler.
+func (e *EZ) Name() string { return "EZ" }
+
+// find resolves x's cluster root with path compression local to p.
+func find(p []int, x int) int {
+	for p[x] != x {
+		p[x] = p[p[x]]
+		x = p[x]
+	}
+	return x
+}
+
+// Schedule implements heuristics.Scheduler.
+func (e *EZ) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return sched.NewPlacement(0), nil
+	}
+	level, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+
+	clusters := make([]int, n)
+	for i := range clusters {
+		clusters[i] = i
+	}
+
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight > edges[j].Weight
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+
+	current, err := e.estimate(g, level, clusters)
+	if err != nil {
+		return nil, err
+	}
+	for _, edge := range edges {
+		ra, rb := find(clusters, int(edge.From)), find(clusters, int(edge.To))
+		if ra == rb {
+			continue // already zeroed transitively
+		}
+		// Trial merge on a copy: undoing a union under path
+		// compression is error-prone, cloning is cheap at these sizes.
+		trial := append([]int(nil), clusters...)
+		trial[ra] = rb
+		merged, err := e.estimate(g, level, trial)
+		if err != nil {
+			return nil, err
+		}
+		if merged <= current {
+			current = merged
+			clusters = trial
+		}
+	}
+	return e.placement(g, level, clusters), nil
+}
+
+// placement lays each cluster on its own processor, ordered by
+// descending level (ties to the smaller ID).
+func (e *EZ) placement(g *dag.Graph, level []int64, clusters []int) *sched.Placement {
+	n := g.NumNodes()
+	byRoot := map[int][]dag.NodeID{}
+	var roots []int
+	for v := 0; v < n; v++ {
+		r := find(clusters, v)
+		if len(byRoot[r]) == 0 {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], dag.NodeID(v))
+	}
+	sort.Ints(roots)
+	pl := sched.NewPlacement(n)
+	for pi, r := range roots {
+		members := byRoot[r]
+		sort.Slice(members, func(i, j int) bool {
+			if level[members[i]] != level[members[j]] {
+				return level[members[i]] > level[members[j]]
+			}
+			return members[i] < members[j]
+		})
+		for _, v := range members {
+			pl.Assign(v, pi)
+		}
+	}
+	return pl
+}
+
+// estimate returns the parallel time of the clustering.
+func (e *EZ) estimate(g *dag.Graph, level []int64, clusters []int) (int64, error) {
+	s, err := sched.Build(g, e.placement(g, level, clusters))
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}

@@ -1,0 +1,96 @@
+package ez
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/schedtest"
+	"schedcomp/internal/paperex"
+	"schedcomp/internal/sched"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conform(t, func() heuristics.Scheduler { return New() })
+}
+
+func TestPaperExample(t *testing.T) {
+	// EZ zeroes edges greedily by weight: 3→4 (10), then 1→2 (5), then
+	// 4→5 (5), leaving clusters {1,2} and {3,4,5} at parallel time 135
+	// — close to, but not at, the optimum of 130 (hand-traced golden
+	// value; EZ's merge order cannot discover the 130 schedule).
+	sc := schedtest.BuildAndValidate(t, New(), paperex.Graph())
+	if sc.Makespan != 135 {
+		t.Errorf("makespan = %d, want 135", sc.Makespan)
+	}
+	if sc.NumProcs != 2 {
+		t.Errorf("procs = %d, want 2", sc.NumProcs)
+	}
+}
+
+// EZ's defining invariant: every accepted merge kept the estimated
+// parallel time non-increasing, so the final schedule is never worse
+// than the fully spread one (every task on its own processor).
+func TestNeverWorseThanFullSpread(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := schedtest.RandomDAG(rng, 1+rng.Intn(35), 0.05+0.3*rng.Float64())
+		sc, err := heuristics.Run(New(), g)
+		if err != nil {
+			return false
+		}
+		// Full spread baseline.
+		spread, err := heuristics.Run(spreadScheduler{}, g)
+		if err != nil {
+			return false
+		}
+		return sc.Makespan <= spread.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroesHeaviestEdgeFirst(t *testing.T) {
+	// A two-task chain with a huge edge must collapse to one cluster.
+	g := dag.New("pair")
+	a := g.AddNode(10)
+	b := g.AddNode(10)
+	g.MustAddEdge(a, b, 1000)
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.NumProcs != 1 || sc.Makespan != 20 {
+		t.Errorf("procs %d makespan %d, want 1/20", sc.NumProcs, sc.Makespan)
+	}
+}
+
+func TestKeepsProfitableParallelism(t *testing.T) {
+	g := dag.New("cheap-fork")
+	a := g.AddNode(10)
+	b := g.AddNode(100)
+	c := g.AddNode(100)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 1)
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.NumProcs != 2 {
+		t.Errorf("procs = %d, want 2", sc.NumProcs)
+	}
+}
+
+// spreadScheduler puts every task on its own processor — the state EZ
+// starts from before any merge.
+type spreadScheduler struct{}
+
+func (spreadScheduler) Name() string { return "spread" }
+func (spreadScheduler) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pl := sched.NewPlacement(g.NumNodes())
+	for i, v := range order {
+		pl.Assign(v, i)
+	}
+	return pl, nil
+}

@@ -1,0 +1,100 @@
+// Package heuristics defines the Scheduler interface implemented by the
+// five heuristics under comparison (CLANS, DSC, MCP, MH, HU) and a
+// name-based registry used by the harness and the CLIs.
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+// Scheduler partitions and schedules a PDG, producing a placement
+// (processor assignment and per-processor order). Timing is always
+// computed afterwards by sched.Build so that every heuristic is
+// evaluated under the identical execution model (paper §2).
+//
+// Implementations must be deterministic: the same graph must always
+// produce the same placement.
+type Scheduler interface {
+	Name() string
+	Schedule(g *dag.Graph) (*sched.Placement, error)
+}
+
+// Run schedules g with s, builds the timed schedule, and validates it
+// against the execution model.
+func Run(s Scheduler, g *dag.Graph) (*sched.Schedule, error) {
+	pl, err := s.Schedule(g)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	sc, err := sched.Build(g, pl)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	return sc, nil
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]func() Scheduler{}
+)
+
+// Register installs a scheduler factory under its name. Each heuristic
+// package registers itself in an init function; Register panics on a
+// duplicate name, which is always a programming error.
+func Register(name string, factory func() Scheduler) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("heuristics: duplicate registration of %q", name))
+	}
+	registry[name] = factory
+}
+
+// New returns a fresh scheduler instance by name.
+func New(name string) (Scheduler, error) {
+	mu.RLock()
+	factory, ok := registry[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("heuristics: unknown scheduler %q (have %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperOrder is the column order used in every table of the paper.
+var PaperOrder = []string{"CLANS", "DSC", "MCP", "MH", "HU"}
+
+// All returns fresh instances of the five heuristics in the paper's
+// column order. It panics if any of them is not linked in (the harness
+// imports all five packages).
+func All() []Scheduler {
+	out := make([]Scheduler, 0, len(PaperOrder))
+	for _, n := range PaperOrder {
+		s, err := New(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}

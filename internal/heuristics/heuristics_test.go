@@ -1,0 +1,91 @@
+package heuristics_test
+
+import (
+	"strings"
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/paperex"
+	"schedcomp/internal/sched"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+func TestNamesContainPaperFive(t *testing.T) {
+	names := heuristics.Names()
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, want := range heuristics.PaperOrder {
+		if !set[want] {
+			t.Errorf("registry missing %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	_, err := heuristics.New("NOPE")
+	if err == nil {
+		t.Fatal("expected error for unknown scheduler")
+	}
+	if !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("error should name the scheduler: %v", err)
+	}
+}
+
+func TestAllReturnsPaperOrder(t *testing.T) {
+	all := heuristics.All()
+	if len(all) != 5 {
+		t.Fatalf("All returned %d schedulers", len(all))
+	}
+	for i, want := range heuristics.PaperOrder {
+		if all[i].Name() != want {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name(), want)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	heuristics.Register("CLANS", nil)
+}
+
+func TestRunValidatesAndBuilds(t *testing.T) {
+	g := paperex.Graph()
+	for _, s := range heuristics.All() {
+		sc, err := heuristics.Run(s, g)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// badScheduler returns an invalid placement to prove Run rejects it.
+type badScheduler struct{}
+
+func (badScheduler) Name() string { return "bad" }
+func (badScheduler) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	pl := sched.NewPlacement(g.NumNodes())
+	// Leave everything unassigned.
+	return pl, nil
+}
+
+func TestRunRejectsBadPlacement(t *testing.T) {
+	g := paperex.Graph()
+	if _, err := heuristics.Run(badScheduler{}, g); err == nil {
+		t.Fatal("Run accepted an incomplete placement")
+	}
+}

@@ -1,0 +1,161 @@
+// Package hu implements Lewis & El-Rewini's communication-extended
+// version of Hu's classical list scheduling algorithm (Appendix A.4 of
+// the paper).
+//
+// Each task's priority is its level (longest path to an exit node,
+// including communication weights — the Lewis/El-Rewini modification).
+// Tasks with no unscheduled predecessors sit in a free list ordered by
+// priority; the first task goes to the first processor, and every
+// subsequent task goes to the processor that is *available* earliest.
+//
+// Interpretation note (see DESIGN.md): the paper's Figure 13 is
+// superficially close to MH, yet HU is by far the worst performer in
+// every table of the paper — exactly the behaviour of the classical,
+// communication-oblivious Hu placement rule, which ignores where the
+// predecessors live when picking a processor. We therefore implement
+// the placement choice as "earliest available processor" (on an
+// unbounded machine this spreads tasks maximally), while the final
+// timing — like every other heuristic — pays full communication costs.
+// The comm-aware alternative and a bounded machine are available as
+// knobs for the ablation benches.
+package hu
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/pq"
+	"schedcomp/internal/sched"
+)
+
+func init() {
+	heuristics.Register("HU", func() heuristics.Scheduler { return New() })
+}
+
+// Policy selects how HU picks a processor for the next task.
+type Policy int
+
+const (
+	// EarliestAvailable picks the processor that becomes idle first,
+	// ignoring communication (the classical Hu rule; default).
+	EarliestAvailable Policy = iota
+	// EarliestStart picks the processor on which the task can start
+	// first, accounting for communication from predecessors (the
+	// comm-aware ablation; this makes HU behave like a non-event-driven
+	// MH).
+	EarliestStart
+)
+
+// HU is the scheduler. The zero value uses the EarliestAvailable policy
+// on an unbounded machine, matching the paper's results.
+type HU struct {
+	Policy Policy
+	// MaxProcs bounds the machine size; 0 means unbounded.
+	MaxProcs int
+}
+
+// New returns an HU scheduler in the paper's configuration.
+func New() *HU { return &HU{} }
+
+// Name implements heuristics.Scheduler.
+func (h *HU) Name() string { return "HU" }
+
+// Schedule implements heuristics.Scheduler.
+func (h *HU) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	n := g.NumNodes()
+	pl := sched.NewPlacement(n)
+	if n == 0 {
+		return pl, nil
+	}
+	level, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+
+	higher := func(a, b dag.NodeID) bool {
+		if level[a] != level[b] {
+			return level[a] > level[b]
+		}
+		return a < b
+	}
+	free := pq.New(higher)
+	for _, v := range g.Sources() {
+		free.Push(v)
+	}
+
+	proc := make([]int, n)
+	finish := make([]int64, n)
+	scheduledPreds := make([]int, n)
+	var procFree []int64
+
+	arrive := func(v dag.NodeID, p int) int64 {
+		var t int64
+		for _, a := range g.Preds(v) {
+			at := finish[a.To]
+			if proc[a.To] != p {
+				at += a.Weight
+			}
+			if at > t {
+				t = at
+			}
+		}
+		return t
+	}
+
+	place := func(v dag.NodeID, p int) {
+		if p == len(procFree) {
+			procFree = append(procFree, 0)
+		}
+		start := arrive(v, p)
+		if procFree[p] > start {
+			start = procFree[p]
+		}
+		proc[v] = p
+		finish[v] = start + g.Weight(v)
+		procFree[p] = finish[v]
+		pl.Assign(v, p)
+		for _, a := range g.Succs(v) {
+			scheduledPreds[a.To]++
+			if scheduledPreds[a.To] == g.InDegree(a.To) {
+				free.Push(a.To)
+			}
+		}
+	}
+
+	pick := func(v dag.NodeID) int {
+		candidates := len(procFree)
+		if h.MaxProcs == 0 || candidates < h.MaxProcs {
+			candidates++ // one fresh processor
+		}
+		bestP := -1
+		var bestKey int64
+		for p := 0; p < candidates; p++ {
+			var key int64
+			var idle int64
+			if p < len(procFree) {
+				idle = procFree[p]
+			}
+			switch h.Policy {
+			case EarliestAvailable:
+				key = idle
+			case EarliestStart:
+				key = arrive(v, p)
+				if idle > key {
+					key = idle
+				}
+			}
+			if bestP == -1 || key < bestKey {
+				bestP, bestKey = p, key
+			}
+		}
+		return bestP
+	}
+
+	// The first task goes to the first processor.
+	first := free.Pop()
+	place(first, 0)
+	for !free.Empty() {
+		v := free.Pop()
+		place(v, pick(v))
+	}
+	return pl, nil
+}

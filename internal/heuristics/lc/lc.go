@@ -1,0 +1,107 @@
+// Package lc implements Linear Clustering (Kim & Browne), the third
+// classic clustering heuristic family the literature compares against
+// DSC and EZ: repeatedly take the heaviest remaining path (nodes plus
+// communication edges) among unclustered tasks, make it one cluster
+// (zeroing its internal edges), and repeat until every task is
+// clustered. Clusters become processors; cluster order is by
+// descending communication-weighted level.
+package lc
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+)
+
+func init() {
+	heuristics.Register("LC", func() heuristics.Scheduler { return New() })
+}
+
+// LC is the scheduler. The zero value is ready to use.
+type LC struct{}
+
+// New returns an LC scheduler.
+func New() *LC { return &LC{} }
+
+// Name implements heuristics.Scheduler.
+func (l *LC) Name() string { return "LC" }
+
+// Schedule implements heuristics.Scheduler.
+func (l *LC) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	n := g.NumNodes()
+	pl := sched.NewPlacement(n)
+	if n == 0 {
+		return pl, nil
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	clustered := make([]bool, n)
+	remaining := n
+	cluster := 0
+	for remaining > 0 {
+		path := heaviestPath(g, order, clustered)
+		if len(path) == 0 {
+			break // unreachable for a DAG with unclustered nodes
+		}
+		// The path is already in precedence order.
+		for _, v := range path {
+			pl.Assign(v, cluster)
+			clustered[v] = true
+			remaining--
+		}
+		cluster++
+	}
+	// Defensive: anything missed becomes its own cluster.
+	for v := 0; v < n; v++ {
+		if !clustered[v] {
+			pl.Assign(dag.NodeID(v), cluster)
+			cluster++
+		}
+	}
+	return pl, nil
+}
+
+// heaviestPath returns the maximum-weight path (node weights plus edge
+// weights) through unclustered nodes only, in precedence order.
+func heaviestPath(g *dag.Graph, order []dag.NodeID, clustered []bool) []dag.NodeID {
+	n := g.NumNodes()
+	best := make([]int64, n) // heaviest path weight starting at v
+	next := make([]dag.NodeID, n)
+	for i := range next {
+		next[i] = -1
+	}
+	var head dag.NodeID = -1
+	var headW int64 = -1
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if clustered[v] {
+			continue
+		}
+		best[v] = g.Weight(v)
+		for _, a := range g.Succs(v) {
+			if clustered[a.To] {
+				continue
+			}
+			c := g.Weight(v) + a.Weight + best[a.To]
+			if c > best[v] || (c == best[v] && next[v] != -1 && a.To < next[v]) {
+				best[v] = c
+				next[v] = a.To
+			}
+		}
+		if best[v] > headW || (best[v] == headW && (head < 0 || v < head)) {
+			headW = best[v]
+			head = v
+		}
+	}
+	if head < 0 {
+		return nil
+	}
+	var path []dag.NodeID
+	for v := head; v >= 0; v = next[v] {
+		path = append(path, v)
+	}
+	return path
+}

@@ -1,0 +1,87 @@
+package lc
+
+import (
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/schedtest"
+	"schedcomp/internal/paperex"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conform(t, func() heuristics.Scheduler { return New() })
+}
+
+func TestPaperExample(t *testing.T) {
+	// LC clusters the critical path 1-3-4-5 first, leaving node 2 as
+	// its own cluster: the same optimal 130 schedule.
+	g := paperex.Graph()
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.Makespan != 130 {
+		t.Errorf("makespan = %d, want 130", sc.Makespan)
+	}
+	if sc.NumProcs != 2 {
+		t.Errorf("procs = %d, want 2", sc.NumProcs)
+	}
+	// The critical path must share a processor.
+	p := sc.ByNode[0].Proc
+	for _, v := range []dag.NodeID{2, 3, 4} {
+		if sc.ByNode[v].Proc != p {
+			t.Errorf("critical path node %d off the CP cluster", v)
+		}
+	}
+}
+
+func TestChainSingleCluster(t *testing.T) {
+	g := dag.New("chain")
+	var prev dag.NodeID = -1
+	for i := 0; i < 7; i++ {
+		v := g.AddNode(10)
+		if prev >= 0 {
+			g.MustAddEdge(prev, v, 30)
+		}
+		prev = v
+	}
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.NumProcs != 1 || sc.Makespan != 70 {
+		t.Errorf("chain: %d procs makespan %d, want 1/70", sc.NumProcs, sc.Makespan)
+	}
+}
+
+func TestParallelChains(t *testing.T) {
+	// Two disjoint chains: two clusters running concurrently.
+	g := dag.New("two-chains")
+	for c := 0; c < 2; c++ {
+		var prev dag.NodeID = -1
+		for i := 0; i < 4; i++ {
+			v := g.AddNode(10)
+			if prev >= 0 {
+				g.MustAddEdge(prev, v, 5)
+			}
+			prev = v
+		}
+	}
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.NumProcs != 2 || sc.Makespan != 40 {
+		t.Errorf("%d procs makespan %d, want 2/40", sc.NumProcs, sc.Makespan)
+	}
+}
+
+func TestEveryClusterIsAPath(t *testing.T) {
+	// Linear clustering's defining property: each cluster is a chain
+	// in the graph (each consecutive pair connected by an edge).
+	g := schedtest.GeneratedDAG(33, 3, gen.Band{Lo: 0.2, Hi: 0.8})
+	pl, err := New().Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range pl.Order {
+		for i := 0; i+1 < len(lane); i++ {
+			if _, ok := g.EdgeWeight(lane[i], lane[i+1]); !ok {
+				t.Fatalf("cluster %v is not a path: no edge %d->%d", lane, lane[i], lane[i+1])
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package mh implements the Mapping Heuristic of Lewis & El-Rewini
+// (Appendix A.3 of the paper), an event-driven list scheduler.
+//
+// Every task gets priority level(n) — the communication-weighted
+// longest path to an exit node. All currently free tasks are allocated
+// in priority order, each to the processor on which it could start (and
+// so finish) the earliest; completions are then replayed from an event
+// list, releasing successor tasks into the free list.
+//
+// MH was designed to account for processor interconnection topology and
+// link contention. The paper's experiments use a fully connected
+// network, where both features are inert; they are implemented here
+// (via internal/topology) and exercised by the topology example and the
+// ablation benches.
+package mh
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/pq"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/topology"
+)
+
+func init() {
+	heuristics.Register("MH", func() heuristics.Scheduler { return New() })
+}
+
+// MH is the scheduler. The zero value schedules on an unbounded fully
+// connected network without contention, which is the paper's setting.
+type MH struct {
+	// Net is the processor network; nil means unbounded fully
+	// connected.
+	Net *topology.Network
+	// Contention, when true, serializes messages crossing the same
+	// link (store-and-forward, unit-capacity links).
+	Contention bool
+}
+
+// New returns an MH scheduler in the paper's configuration.
+func New() *MH { return &MH{} }
+
+// Name implements heuristics.Scheduler.
+func (m *MH) Name() string { return "MH" }
+
+type event struct {
+	finish int64
+	node   dag.NodeID
+}
+
+// Schedule implements heuristics.Scheduler.
+func (m *MH) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	n := g.NumNodes()
+	pl := sched.NewPlacement(n)
+	if n == 0 {
+		return pl, nil
+	}
+	level, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+
+	net := m.Net
+	if net == nil {
+		net = topology.FullyConnected(0)
+	}
+	var traffic *topology.Traffic
+	if m.Contention {
+		traffic = topology.NewTraffic(net)
+	}
+
+	// Free list: highest level first, ties to the smaller ID.
+	higher := func(a, b dag.NodeID) bool {
+		if level[a] != level[b] {
+			return level[a] > level[b]
+		}
+		return a < b
+	}
+	free := pq.New(higher)
+	for _, v := range g.Sources() {
+		free.Push(v)
+	}
+	events := pq.New(func(a, b event) bool {
+		if a.finish != b.finish {
+			return a.finish < b.finish
+		}
+		return a.node < b.node
+	})
+
+	proc := make([]int, n)
+	finish := make([]int64, n)
+	scheduledPreds := make([]int, n)
+	done := make([]bool, n)
+	var procFree []int64
+	usedProcs := 0
+
+	maxProcs := net.NumProcs()
+	if net.Unbounded() {
+		maxProcs = 0
+	}
+
+	arrive := func(v dag.NodeID, p int) int64 {
+		var t int64
+		for _, a := range g.Preds(v) {
+			at := finish[a.To]
+			if proc[a.To] != p {
+				if traffic != nil {
+					at = traffic.Peek(proc[a.To], p, at, a.Weight)
+				} else {
+					at += net.Delay(proc[a.To], p, a.Weight)
+				}
+			}
+			if at > t {
+				t = at
+			}
+		}
+		return t
+	}
+
+	allocate := func(v dag.NodeID) {
+		// Candidate processors: every opened processor plus, when the
+		// network allows, one fresh processor.
+		candidates := usedProcs
+		if maxProcs == 0 || candidates < maxProcs {
+			candidates++
+		}
+		bestP, bestStart := -1, int64(0)
+		for p := 0; p < candidates; p++ {
+			start := arrive(v, p)
+			if p < len(procFree) && procFree[p] > start {
+				start = procFree[p]
+			}
+			if bestP == -1 || start < bestStart {
+				bestP, bestStart = p, start
+			}
+		}
+		if bestP >= usedProcs {
+			usedProcs = bestP + 1
+			for len(procFree) < usedProcs {
+				procFree = append(procFree, 0)
+			}
+		}
+		if traffic != nil {
+			// Reserve the links actually used by the incoming messages.
+			for _, a := range g.Preds(v) {
+				if proc[a.To] != bestP {
+					traffic.Send(proc[a.To], bestP, finish[a.To], a.Weight)
+				}
+			}
+		}
+		proc[v] = bestP
+		finish[v] = bestStart + g.Weight(v)
+		procFree[bestP] = finish[v]
+		done[v] = true
+		pl.Assign(v, bestP)
+		events.Push(event{finish: finish[v], node: v})
+	}
+
+	scheduled := 0
+	for scheduled < n {
+		for !free.Empty() {
+			allocate(free.Pop())
+			scheduled++
+		}
+		if scheduled == n {
+			break
+		}
+		if events.Empty() {
+			panic("mh: free and event lists empty with tasks remaining")
+		}
+		e := events.Pop()
+		for _, a := range g.Succs(e.node) {
+			scheduledPreds[a.To]++
+			if !done[a.To] && scheduledPreds[a.To] == g.InDegree(a.To) {
+				free.Push(a.To)
+			}
+		}
+	}
+	return pl, nil
+}

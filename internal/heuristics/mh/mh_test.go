@@ -1,0 +1,100 @@
+package mh
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/schedtest"
+	"schedcomp/internal/paperex"
+	"schedcomp/internal/topology"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conform(t, func() heuristics.Scheduler { return New() })
+}
+
+func TestPaperExample(t *testing.T) {
+	g := paperex.Graph()
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.Makespan != 130 {
+		t.Errorf("makespan = %d, want 130", sc.Makespan)
+	}
+	if sc.NumProcs != 2 {
+		t.Errorf("procs = %d, want 2", sc.NumProcs)
+	}
+}
+
+func TestBoundedNetworkRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := schedtest.RandomDAG(rng, 40, 0.1)
+	m := &MH{Net: topology.FullyConnected(3)}
+	sc := schedtest.BuildAndValidate(t, m, g)
+	if sc.NumProcs > 3 {
+		t.Errorf("used %d procs on a 3-processor machine", sc.NumProcs)
+	}
+}
+
+func TestLevelPriorityDrivesOrder(t *testing.T) {
+	// Two independent chains, one much longer: its head has the higher
+	// level and must be allocated first (ends up on processor 0).
+	g := dag.New("prio")
+	short := g.AddNode(10)
+	longHead := g.AddNode(10)
+	longTail := g.AddNode(100)
+	g.MustAddEdge(longHead, longTail, 1)
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.ByNode[longHead].Proc != 0 {
+		t.Errorf("high-level task should be allocated first (proc 0), got %d",
+			sc.ByNode[longHead].Proc)
+	}
+	if sc.ByNode[short].Proc == sc.ByNode[longHead].Proc && sc.ByNode[short].Start == 0 {
+		t.Error("short task should not preempt the long chain's head")
+	}
+}
+
+func TestEventDrivenRelease(t *testing.T) {
+	// Diamond: the join must wait for both branches; MH's event list
+	// releases it only after both complete.
+	g := dag.New("diamond")
+	a := g.AddNode(10)
+	b := g.AddNode(20)
+	c := g.AddNode(30)
+	d := g.AddNode(10)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, d, 1)
+	g.MustAddEdge(c, d, 1)
+	sc := schedtest.BuildAndValidate(t, New(), g)
+	if sc.ByNode[d].Start < 40 {
+		t.Errorf("join starts at %d, before slow branch finishes", sc.ByNode[d].Start)
+	}
+}
+
+func TestContentionDelaysSharedLinks(t *testing.T) {
+	// On a star, concurrent cross-messages share the hub links. The
+	// contention-aware MH must still produce a valid placement; its
+	// processor usage may differ from the uncontended one.
+	rng := rand.New(rand.NewSource(11))
+	g := schedtest.RandomDAG(rng, 30, 0.15)
+	plain := schedtest.BuildAndValidate(t, &MH{Net: topology.Star(4)}, g)
+	cont := schedtest.BuildAndValidate(t, &MH{Net: topology.Star(4), Contention: true}, g)
+	if plain.NumProcs > 4 || cont.NumProcs > 4 {
+		t.Error("star(4) machine exceeded")
+	}
+}
+
+func TestRegisteredDefaultIsUnboundedUniform(t *testing.T) {
+	s, err := heuristics.New("MH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.(*MH)
+	if !ok {
+		t.Fatalf("registry returned %T", s)
+	}
+	if m.Net != nil || m.Contention {
+		t.Error("registered MH should be the paper configuration")
+	}
+}

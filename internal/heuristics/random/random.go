@@ -1,0 +1,78 @@
+// Package random provides the RAND control scheduler: a deterministic
+// pseudo-random topological placement onto a square-root-sized
+// processor pool. It exists as a floor for the comparisons — any
+// heuristic worth publishing must clearly beat random placement — and
+// as a stress source for the schedule validator. The stream is seeded
+// from the graph's structure, so the "random" placement is still a
+// deterministic function of the input, as the Scheduler contract
+// requires.
+package random
+
+import (
+	"math"
+	"math/rand"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+)
+
+func init() {
+	heuristics.Register("RAND", func() heuristics.Scheduler { return New() })
+}
+
+// RAND is the control scheduler. Procs fixes the pool size; 0 means
+// ceil(sqrt(n)).
+type RAND struct {
+	Procs int
+	// Salt perturbs the derived stream, for drawing several
+	// independent placements of the same graph.
+	Salt int64
+}
+
+// New returns a RAND scheduler with the default pool size.
+func New() *RAND { return &RAND{} }
+
+// Name implements heuristics.Scheduler.
+func (r *RAND) Name() string { return "RAND" }
+
+// Schedule implements heuristics.Scheduler.
+func (r *RAND) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	n := g.NumNodes()
+	pl := sched.NewPlacement(n)
+	if n == 0 {
+		return pl, nil
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	procs := r.Procs
+	if procs <= 0 {
+		procs = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	rng := rand.New(rand.NewSource(r.seed(g)))
+	for _, v := range order {
+		pl.Assign(v, rng.Intn(procs))
+	}
+	return pl, nil
+}
+
+// seed hashes the graph structure (and the salt) into a stream seed.
+func (r *RAND) seed(g *dag.Graph) int64 {
+	h := uint64(1469598103934665603) // FNV offset
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(g.NumNodes()))
+	for _, e := range g.Edges() {
+		mix(uint64(e.From)<<32 | uint64(uint32(e.To)))
+		mix(uint64(e.Weight))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		mix(uint64(g.Weight(dag.NodeID(v))))
+	}
+	mix(uint64(r.Salt))
+	return int64(h >> 1)
+}

@@ -1,0 +1,60 @@
+package random
+
+import (
+	"testing"
+
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/schedtest"
+
+	_ "schedcomp/internal/heuristics/mcp"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Conform(t, func() heuristics.Scheduler { return New() })
+}
+
+func TestProcsBound(t *testing.T) {
+	g := schedtest.GeneratedDAG(4, 3, gen.Band{Lo: 0.8, Hi: 2})
+	sc := schedtest.BuildAndValidate(t, &RAND{Procs: 3}, g)
+	if sc.NumProcs > 3 {
+		t.Errorf("procs = %d, bound 3", sc.NumProcs)
+	}
+}
+
+func TestSaltVariesPlacement(t *testing.T) {
+	g := schedtest.GeneratedDAG(5, 3, gen.Band{Lo: 0.8, Hi: 2})
+	a, err := (&RAND{Salt: 1}).Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&RAND{Salt: 2}).Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Proc {
+		if a.Proc[i] != b.Proc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different salts produced identical placements")
+	}
+}
+
+// RAND is the floor: a real heuristic should beat it comfortably on a
+// coarse-grained graph.
+func TestRealHeuristicBeatsRandom(t *testing.T) {
+	g := schedtest.GeneratedDAG(6, 3, gen.Band{Lo: 2.0})
+	rnd := schedtest.BuildAndValidate(t, New(), g)
+	mcp, err := heuristics.New("MCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := schedtest.BuildAndValidate(t, mcp, g)
+	if good.Makespan >= rnd.Makespan {
+		t.Errorf("MCP %d did not beat RAND %d", good.Makespan, rnd.Makespan)
+	}
+}

@@ -1,0 +1,221 @@
+package opt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/paperex"
+	"schedcomp/internal/sched"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+func solve(t *testing.T, g *dag.Graph) *Result {
+	t.Helper()
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness must rebuild to the claimed makespan and validate.
+	sc, err := sched.Build(g, res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Makespan != res.Makespan {
+		t.Fatalf("witness makespan %d != claimed %d", sc.Makespan, res.Makespan)
+	}
+	return res
+}
+
+func TestPaperExampleOptimalIs130(t *testing.T) {
+	// The communication-free critical path of the appendix example is
+	// 10+30+40+50 = 130, a hard lower bound; CLANS achieves it, so the
+	// optimum is exactly 130.
+	res := solve(t, paperex.Graph())
+	if res.Makespan != 130 {
+		t.Errorf("optimal = %d, want 130", res.Makespan)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := dag.New("one")
+	g.AddNode(42)
+	if res := solve(t, g); res.Makespan != 42 {
+		t.Errorf("optimal = %d, want 42", res.Makespan)
+	}
+}
+
+func TestIndependentTasks(t *testing.T) {
+	g := dag.New("indep")
+	for i := 0; i < 5; i++ {
+		g.AddNode(10)
+	}
+	if res := solve(t, g); res.Makespan != 10 {
+		t.Errorf("optimal = %d, want 10", res.Makespan)
+	}
+}
+
+func TestChainIsSerial(t *testing.T) {
+	g := dag.New("chain")
+	var prev dag.NodeID = -1
+	for i := 0; i < 6; i++ {
+		v := g.AddNode(int64(5 + i))
+		if prev >= 0 {
+			g.MustAddEdge(prev, v, 100)
+		}
+		prev = v
+	}
+	if res := solve(t, g); res.Makespan != g.SerialTime() {
+		t.Errorf("optimal = %d, want serial %d", res.Makespan, g.SerialTime())
+	}
+}
+
+func TestForkCommTradeoff(t *testing.T) {
+	// root(10) -> two tasks of 100 with edges of weight e. Parallel
+	// costs 10 + e + 100, serial costs 210: the optimum flips at
+	// e = 100.
+	build := func(e int64) *dag.Graph {
+		g := dag.New("fork")
+		r := g.AddNode(10)
+		a := g.AddNode(100)
+		b := g.AddNode(100)
+		g.MustAddEdge(r, a, e)
+		g.MustAddEdge(r, b, e)
+		return g
+	}
+	if res := solve(t, build(5)); res.Makespan != 115 {
+		t.Errorf("cheap fork: optimal = %d, want 115", res.Makespan)
+	}
+	if res := solve(t, build(500)); res.Makespan != 210 {
+		t.Errorf("expensive fork: optimal = %d, want 210 (serial)", res.Makespan)
+	}
+	if res := solve(t, build(100)); res.Makespan != 210 {
+		t.Errorf("break-even fork: optimal = %d, want 210", res.Makespan)
+	}
+}
+
+func TestRejectsLargeGraphs(t *testing.T) {
+	g := dag.New("big")
+	for i := 0; i < 30; i++ {
+		g.AddNode(1)
+	}
+	if _, err := Solve(g, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	g := dag.New("wide")
+	for i := 0; i < 10; i++ {
+		g.AddNode(int64(i + 1))
+	}
+	if _, err := Solve(g, Options{MaxStates: 10}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestIncumbentDoesNotBreakWitness(t *testing.T) {
+	g := paperex.Graph()
+	res, err := Solve(g, Options{Incumbent: 130}) // exactly the optimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 130 || res.Placement == nil {
+		t.Fatalf("makespan %d, placement %v", res.Makespan, res.Placement)
+	}
+}
+
+// Property: no heuristic ever beats the exact optimum, and the optimum
+// is at least the communication-free critical path.
+func TestQuickOptimalDominatesHeuristics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := dag.New("q")
+		for i := 0; i < n; i++ {
+			g.AddNode(int64(1 + rng.Intn(50)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(100) < 35 {
+					g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), int64(rng.Intn(80)))
+				}
+			}
+		}
+		res, err := Solve(g, Options{})
+		if err != nil {
+			return false
+		}
+		lv, err := g.BLevelsNoComm()
+		if err != nil {
+			return false
+		}
+		var cp int64
+		for _, l := range lv {
+			if l > cp {
+				cp = l
+			}
+		}
+		if res.Makespan < cp {
+			return false
+		}
+		for _, s := range heuristics.All() {
+			sc, err := heuristics.Run(s, g)
+			if err != nil {
+				return false
+			}
+			if sc.Makespan < res.Makespan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Gerasoulis & Yang bound the paper cites: for coarse-grained
+// graphs (granularity > 1) any list schedule is within a factor of 2
+// of optimal. Check it for MH and HU on small generated coarse graphs;
+// CLANS/DSC/MCP should satisfy it too.
+func TestCoarseGrainFactorTwoBound(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := gen.MustGenerate(gen.Params{
+			Nodes: 12, Anchor: 2, WMin: 20, WMax: 100,
+			Gran: gen.Band{Lo: 2.0},
+		}, 300+seed)
+		if g.NumNodes() > 14 {
+			continue
+		}
+		res, err := Solve(g, Options{MaxStates: 50_000_000})
+		if errors.Is(err, ErrBudget) {
+			continue // rare; other seeds cover the property
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range heuristics.All() {
+			sc, err := heuristics.Run(s, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Makespan > 2*res.Makespan {
+				t.Errorf("seed %d: %s makespan %d > 2x optimal %d on coarse graph",
+					seed, s.Name(), sc.Makespan, res.Makespan)
+			}
+		}
+	}
+}

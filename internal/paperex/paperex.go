@@ -1,0 +1,45 @@
+// Package paperex provides the worked example graph the paper's
+// appendix uses to illustrate all five heuristics (Figures 8, 10, 12,
+// 14 and 16). The weights are stated directly in the CLANS walkthrough
+// (§A.5) and the edge weights follow from the level table of the Hu
+// example (Figure 14): level(n) = w(n) + max(edge + level(succ)) gives
+// levels 150, 74, 135, 95, 50 for nodes 1..5.
+//
+// Node IDs here are zero-based: paper node k is NodeID k-1.
+package paperex
+
+import "schedcomp/internal/dag"
+
+// Weights and levels as printed in the paper (1-indexed positions 1..5
+// at slice indices 0..4).
+var (
+	// NodeWeights are the execution times of paper nodes 1..5.
+	NodeWeights = []int64{10, 20, 30, 40, 50}
+	// Levels are the communication-weighted levels from Figure 14.
+	Levels = []int64{150, 74, 135, 95, 50}
+	// CLANSParallelTime is the schedule length of the CLANS example
+	// (Figure 16 C).
+	CLANSParallelTime = int64(130)
+	// SerialTime is the sum of the node weights.
+	SerialTime = int64(150)
+)
+
+// Graph returns a fresh copy of the example PDG:
+//
+//	1 --5--> 2 --4--> 5
+//	1 --5--> 3 --10--> 4 --5--> 5
+//
+// with node weights 10, 20, 30, 40, 50.
+func Graph() *dag.Graph {
+	g := dag.New("paper-appendix-example")
+	n := make([]dag.NodeID, 5)
+	for i, w := range NodeWeights {
+		n[i] = g.AddNode(w)
+	}
+	g.MustAddEdge(n[0], n[1], 5)
+	g.MustAddEdge(n[0], n[2], 5)
+	g.MustAddEdge(n[2], n[3], 10)
+	g.MustAddEdge(n[1], n[4], 4)
+	g.MustAddEdge(n[3], n[4], 5)
+	return g
+}

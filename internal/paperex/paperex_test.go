@@ -1,0 +1,36 @@
+package paperex
+
+import (
+	"testing"
+)
+
+func TestGraphMatchesPaperFacts(t *testing.T) {
+	g := Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 5 {
+		t.Fatalf("shape: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.SerialTime() != SerialTime {
+		t.Errorf("serial time = %d, want %d", g.SerialTime(), SerialTime)
+	}
+	lv, err := g.BLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range Levels {
+		if lv[i] != want {
+			t.Errorf("level(%d) = %d, want %d (paper Figure 14)", i+1, lv[i], want)
+		}
+	}
+}
+
+func TestGraphIsFresh(t *testing.T) {
+	a := Graph()
+	b := Graph()
+	a.SetWeight(0, 999)
+	if b.Weight(0) != NodeWeights[0] {
+		t.Error("Graph() returned shared state")
+	}
+}

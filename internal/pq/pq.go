@@ -1,0 +1,111 @@
+// Package pq provides a small generic binary heap used for the ordered
+// free lists and event lists of the scheduling heuristics.
+//
+// The heap is a min-heap with respect to the provided less function;
+// heuristics wanting "highest priority first" pass a reversed
+// comparison. Ties should be broken deterministically by the caller
+// (typically by node ID) so that every run of a heuristic is
+// reproducible.
+package pq
+
+// Heap is a binary min-heap ordered by the less function supplied at
+// construction. The zero value is not usable; call New.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewFrom returns a heap initialized with items (heapified in O(n)).
+func NewFrom[T any](less func(a, b T) bool, items ...T) *Heap[T] {
+	h := &Heap[T]{less: less, items: append([]T(nil), items...)}
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap.
+func (h *Heap[T]) Peek() T {
+	if len(h.items) == 0 {
+		panic("pq: Peek on empty heap")
+	}
+	return h.items[0]
+}
+
+// Pop removes and returns the minimum element. It panics on an empty
+// heap.
+func (h *Heap[T]) Pop() T {
+	if len(h.items) == 0 {
+		panic("pq: Pop on empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Items returns the underlying slice in heap order (not sorted). The
+// caller must not mutate it.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Fix re-establishes heap order after the caller mutated priorities of
+// arbitrary elements in place. O(n).
+func (h *Heap[T]) Fix() {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

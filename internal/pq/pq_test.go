@@ -1,0 +1,163 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestEmpty(t *testing.T) {
+	h := New(intLess)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("new heap not empty")
+	}
+}
+
+func TestPopOrder(t *testing.T) {
+	h := New(intLess)
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7} {
+		h.Push(v)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for _, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("Pop = %d, want %d", got, w)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	h := NewFrom(intLess, 4, 2, 6)
+	if h.Peek() != 2 {
+		t.Fatalf("Peek = %d, want 2", h.Peek())
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Peek consumed an element")
+	}
+}
+
+func TestPopPeekEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Pop":  func() { New(intLess).Pop() },
+		"Peek": func() { New(intLess).Peek() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty heap did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewFromHeapifies(t *testing.T) {
+	items := []int{9, 4, 7, 1, 3, 8}
+	h := NewFrom(intLess, items...)
+	// NewFrom must not alias the input slice.
+	items[0] = -100
+	var got []int
+	for !h.Empty() {
+		got = append(got, h.Pop())
+	}
+	want := []int{1, 3, 4, 7, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxHeapViaReversedLess(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	for _, v := range []int{3, 1, 4, 1, 5} {
+		h.Push(v)
+	}
+	if h.Pop() != 5 || h.Pop() != 4 || h.Pop() != 3 {
+		t.Fatal("reversed comparison did not yield a max-heap")
+	}
+}
+
+func TestFixAfterMutation(t *testing.T) {
+	type task struct{ prio int }
+	a, b, c := &task{3}, &task{1}, &task{2}
+	h := NewFrom(func(x, y *task) bool { return x.prio < y.prio }, a, b, c)
+	a.prio = 0
+	h.Fix()
+	if h.Pop() != a {
+		t.Fatal("Fix did not restore heap order after priority mutation")
+	}
+}
+
+func TestStructElements(t *testing.T) {
+	type ev struct {
+		at int64
+		id int
+	}
+	h := New(func(a, b ev) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.id < b.id
+	})
+	h.Push(ev{5, 2})
+	h.Push(ev{5, 1})
+	h.Push(ev{3, 9})
+	if got := h.Pop(); got.at != 3 {
+		t.Fatalf("Pop = %+v, want at=3", got)
+	}
+	if got := h.Pop(); got.id != 1 {
+		t.Fatalf("tie-break Pop = %+v, want id=1", got)
+	}
+}
+
+// Property: draining the heap yields the sorted input.
+func TestQuickSortsLikeSort(t *testing.T) {
+	f := func(xs []int) bool {
+		h := NewFrom(intLess, xs...)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		for _, w := range want {
+			if h.Pop() != w {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved push/pop maintains the min property.
+func TestQuickInterleaved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(intLess)
+		var model []int
+		for op := 0; op < 400; op++ {
+			if h.Len() == 0 || rng.Intn(2) == 0 {
+				v := rng.Intn(1000)
+				h.Push(v)
+				model = append(model, v)
+				sort.Ints(model)
+			} else {
+				if got := h.Pop(); got != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return h.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

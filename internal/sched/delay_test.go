@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"testing"
+
+	"schedcomp/internal/dag"
+)
+
+func TestUniformDelay(t *testing.T) {
+	if UniformDelay(2, 2, 100) != 0 {
+		t.Error("same-proc delay should be 0")
+	}
+	if UniformDelay(0, 1, 100) != 100 {
+		t.Error("cross-proc delay should be the weight")
+	}
+}
+
+func TestBuildWithNilDelayIsUniform(t *testing.T) {
+	g := chain3()
+	pl := NewPlacement(3)
+	pl.Assign(0, 0)
+	pl.Assign(1, 1)
+	pl.Assign(2, 1)
+	a, err := BuildWith(g, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2 := NewPlacement(3)
+	pl2.Assign(0, 0)
+	pl2.Assign(1, 1)
+	pl2.Assign(2, 1)
+	b, err := Build(g, pl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("nil delay %d != uniform %d", a.Makespan, b.Makespan)
+	}
+}
+
+func TestBuildWithHopDelay(t *testing.T) {
+	// Delay doubles the weight across processors: node 1 on the other
+	// processor now waits 10 + 2*5 = 20.
+	g := chain3()
+	pl := NewPlacement(3)
+	pl.Assign(0, 0)
+	pl.Assign(1, 1)
+	pl.Assign(2, 1)
+	double := func(from, to int, w int64) int64 {
+		if from == to {
+			return 0
+		}
+		return 2 * w
+	}
+	s, err := BuildWith(g, pl, double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ByNode[1].Start != 20 {
+		t.Errorf("node 1 start = %d, want 20", s.ByNode[1].Start)
+	}
+	if err := s.ValidateWith(double); err != nil {
+		t.Error(err)
+	}
+	// Under the default (cheaper) model it also validates...
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	// ...but tightening the delay beyond what was paid must fail.
+	triple := func(from, to int, w int64) int64 {
+		if from == to {
+			return 0
+		}
+		return 3 * w
+	}
+	if err := s.ValidateWith(triple); err == nil {
+		t.Error("expected violation under a stricter delay model")
+	}
+}
+
+// Property: increasing every communication delay can never shrink the
+// makespan of a fixed placement under the greedy builder.
+func TestBuildWithDelayMonotonic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := chain3()
+		// Random-ish placements over the 3-node chain are too small to
+		// be interesting; build a richer graph.
+		g = richGraph(seed)
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl1 := NewPlacement(g.NumNodes())
+		pl2 := NewPlacement(g.NumNodes())
+		for i, v := range order {
+			p := (int(v) + i) % 3
+			pl1.Assign(v, p)
+			pl2.Assign(v, p)
+		}
+		cheap, err := BuildWith(g, pl1, UniformDelay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dear, err := BuildWith(g, pl2, func(a, b int, w int64) int64 {
+			if a == b {
+				return 0
+			}
+			return 2*w + 3
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dear.Makespan < cheap.Makespan {
+			t.Fatalf("seed %d: dearer delays shrank makespan %d -> %d",
+				seed, cheap.Makespan, dear.Makespan)
+		}
+	}
+}
+
+// richGraph builds a deterministic pseudo-random DAG from a seed.
+func richGraph(seed int64) *dag.Graph {
+	g := dag.New("rich")
+	n := 12 + int(seed%8)
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(1 + (seed+int64(i)*7)%40))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (seed+int64(i*31+j*17))%5 == 0 {
+				g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), int64(1+(seed+int64(i+j))%30))
+			}
+		}
+	}
+	return g
+}
+
+func TestMustBuildPanicsOnBadPlacement(t *testing.T) {
+	g := chain3()
+	pl := NewPlacement(3)
+	pl.Assign(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	MustBuild(g, pl)
+}

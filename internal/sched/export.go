@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export formats for schedules, so results can be inspected outside
+// the testbed (spreadsheets, Chrome's about:tracing / Perfetto).
+
+// WriteCSV writes the schedule as CSV rows: node, proc, start, finish,
+// weight. Rows are ordered by processor then start time.
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "node,proc,start,finish,weight"); err != nil {
+		return err
+	}
+	for p := 0; p < s.NumProcs; p++ {
+		for _, a := range s.ProcTasks(p) {
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d\n",
+				a.Node, a.Proc, a.Start, a.Finish, s.Graph.Weight(a.Node)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// traceEvent is one Chrome trace-format "complete" event.
+type traceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+// WriteTrace writes the schedule in the Chrome trace event format
+// (load via chrome://tracing or Perfetto): one timeline row per
+// processor, one complete event per task, time units mapping one task
+// time unit to one microsecond.
+func (s *Schedule) WriteTrace(w io.Writer) error {
+	events := make([]traceEvent, 0, len(s.ByNode))
+	for p := 0; p < s.NumProcs; p++ {
+		for _, a := range s.ProcTasks(p) {
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("task %d", a.Node),
+				Cat:  "task",
+				Ph:   "X",
+				Ts:   a.Start,
+				Dur:  a.Finish - a.Start,
+				Pid:  0,
+				Tid:  a.Proc,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{events})
+}
+
+// MarshalJSON encodes the schedule compactly: makespan, processor
+// count, and per-task assignments.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Node   int32 `json:"node"`
+		Proc   int   `json:"proc"`
+		Start  int64 `json:"start"`
+		Finish int64 `json:"finish"`
+	}
+	out := struct {
+		Graph    string `json:"graph,omitempty"`
+		Makespan int64  `json:"makespan"`
+		Procs    int    `json:"procs"`
+		Tasks    []row  `json:"tasks"`
+	}{Makespan: s.Makespan, Procs: s.NumProcs}
+	if s.Graph != nil {
+		out.Graph = s.Graph.Name()
+	}
+	for _, a := range s.ByNode {
+		out.Tasks = append(out.Tasks, row{Node: int32(a.Node), Proc: a.Proc, Start: a.Start, Finish: a.Finish})
+	}
+	return json.Marshal(out)
+}

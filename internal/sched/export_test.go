@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exampleSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	g := chain3()
+	pl := NewPlacement(3)
+	pl.Assign(0, 0)
+	pl.Assign(1, 0)
+	pl.Assign(2, 1)
+	s, err := Build(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := exampleSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 tasks
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "node,proc,start,finish,weight" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "0,0,0,10,10") {
+		t.Errorf("missing first row:\n%s", out)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	s := exampleSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(decoded.TraceEvents))
+	}
+	for _, e := range decoded.TraceEvents {
+		if e["ph"] != "X" {
+			t.Errorf("event phase = %v", e["ph"])
+		}
+	}
+}
+
+func TestScheduleJSON(t *testing.T) {
+	s := exampleSchedule(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Makespan int64 `json:"makespan"`
+		Procs    int   `json:"procs"`
+		Tasks    []struct {
+			Node int32 `json:"node"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Makespan != s.Makespan || decoded.Procs != s.NumProcs || len(decoded.Tasks) != 3 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}

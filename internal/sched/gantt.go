@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the schedule as a fixed-width text chart, one row per
+// processor, suitable for terminals. width is the number of character
+// cells used for the time axis (minimum 20).
+func (s *Schedule) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if s.Makespan == 0 || s.NumProcs == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / float64(s.Makespan)
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel time %d on %d processor(s); speedup %.2f, efficiency %.2f\n",
+		s.Makespan, s.NumProcs, s.Speedup(), s.Efficiency())
+	for p := 0; p < s.NumProcs; p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		labels := make([]string, 0, 4)
+		for _, a := range s.ProcTasks(p) {
+			from := int(float64(a.Start) * scale)
+			to := int(float64(a.Finish) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			for i := from; i < to; i++ {
+				row[i] = '#'
+			}
+			labels = append(labels, fmt.Sprintf("%d@[%d,%d)", a.Node, a.Start, a.Finish))
+		}
+		fmt.Fprintf(&b, "P%-3d |%s| %s\n", p, string(row), strings.Join(labels, " "))
+	}
+	return b.String()
+}
+
+// Table renders the schedule as an aligned start-time table, one line
+// per task in start-time order.
+func (s *Schedule) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-6s %-10s %-10s\n", "node", "proc", "start", "finish")
+	for p := 0; p < s.NumProcs; p++ {
+		for _, a := range s.ProcTasks(p) {
+			fmt.Fprintf(&b, "%-6d %-6d %-10d %-10d\n", a.Node, a.Proc, a.Start, a.Finish)
+		}
+	}
+	return b.String()
+}

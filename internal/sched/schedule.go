@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"schedcomp/internal/dag"
+)
+
+// Assignment records where and when one task executes.
+type Assignment struct {
+	Node   dag.NodeID
+	Proc   int
+	Start  int64
+	Finish int64
+}
+
+// Schedule is a fully timed assignment of a graph's tasks to
+// processors.
+type Schedule struct {
+	Graph *dag.Graph
+	// ByNode[n] is the assignment of node n.
+	ByNode []Assignment
+	// NumProcs is the number of processors used (dense 0..NumProcs-1).
+	NumProcs int
+	// Makespan is the parallel time: the maximum finish time.
+	Makespan int64
+}
+
+// ParallelTime returns the schedule makespan, the paper's objective.
+func (s *Schedule) ParallelTime() int64 { return s.Makespan }
+
+// Speedup returns serial time / parallel time. A value below 1 means
+// the schedule retards execution relative to one processor.
+func (s *Schedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.Graph.SerialTime()) / float64(s.Makespan)
+}
+
+// Efficiency returns Speedup / NumProcs: the average fraction of time
+// the used processors are busy doing useful work.
+func (s *Schedule) Efficiency() float64 {
+	if s.NumProcs == 0 {
+		return 0
+	}
+	return s.Speedup() / float64(s.NumProcs)
+}
+
+// ProcTasks returns the assignments of processor p sorted by start
+// time.
+func (s *Schedule) ProcTasks(p int) []Assignment {
+	var out []Assignment
+	for _, a := range s.ByNode {
+		if a.Proc == p {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Validate checks the schedule against the paper's execution model:
+//
+//  1. every node is assigned exactly once, with Finish = Start + weight;
+//  2. tasks on the same processor do not overlap;
+//  3. every task starts no earlier than each predecessor's finish, plus
+//     the edge weight when the two run on different processors.
+func (s *Schedule) Validate() error {
+	g := s.Graph
+	n := g.NumNodes()
+	if len(s.ByNode) != n {
+		return fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.ByNode), n)
+	}
+	for i, a := range s.ByNode {
+		if int(a.Node) != i {
+			return fmt.Errorf("sched: ByNode[%d] holds node %d", i, a.Node)
+		}
+		if a.Proc < 0 || a.Proc >= s.NumProcs {
+			return fmt.Errorf("sched: node %d on processor %d outside [0,%d)", i, a.Proc, s.NumProcs)
+		}
+		if a.Start < 0 {
+			return fmt.Errorf("sched: node %d starts at negative time %d", i, a.Start)
+		}
+		if a.Finish != a.Start+g.Weight(a.Node) {
+			return fmt.Errorf("sched: node %d finish %d != start %d + weight %d",
+				i, a.Finish, a.Start, g.Weight(a.Node))
+		}
+		if a.Finish > s.Makespan {
+			return fmt.Errorf("sched: node %d finishes at %d beyond makespan %d", i, a.Finish, s.Makespan)
+		}
+	}
+	// No overlap per processor.
+	for p := 0; p < s.NumProcs; p++ {
+		tasks := s.ProcTasks(p)
+		for i := 1; i < len(tasks); i++ {
+			if tasks[i].Start < tasks[i-1].Finish {
+				return fmt.Errorf("sched: processor %d overlap: node %d [%d,%d) vs node %d [%d,%d)",
+					p, tasks[i-1].Node, tasks[i-1].Start, tasks[i-1].Finish,
+					tasks[i].Node, tasks[i].Start, tasks[i].Finish)
+			}
+		}
+	}
+	// Precedence + communication.
+	for v := 0; v < n; v++ {
+		av := s.ByNode[v]
+		for _, e := range g.Preds(dag.NodeID(v)) {
+			ap := s.ByNode[e.To]
+			ready := ap.Finish
+			if ap.Proc != av.Proc {
+				ready += e.Weight
+			}
+			if av.Start < ready {
+				return fmt.Errorf("sched: node %d starts at %d before data from %d ready at %d",
+					v, av.Start, e.To, ready)
+			}
+		}
+	}
+	return nil
+}

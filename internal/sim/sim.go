@@ -1,0 +1,152 @@
+// Package sim simulates the execution of a placement on a processor
+// network with contended, unit-capacity links — a stricter execution
+// model than the paper's (which assumes contention-free communication,
+// one hop everywhere). It answers the question the topology example
+// raises: what do the heuristics' schedules actually cost on a real
+// interconnect?
+//
+// Model: tasks run in their placement order on their assigned
+// processor. When a task finishes it immediately sends one message per
+// successor on a different processor; a message occupies every link on
+// its (fixed, shortest-path) route in sequence, store-and-forward,
+// waiting whenever a link is busy. A task starts when its processor is
+// free and all its input messages have arrived.
+//
+// Link reservations are made in task-commit order (tasks are committed
+// in nondecreasing start times, the same greedy order sched.Build
+// uses); a fully chronological message-level simulation could reorder
+// two messages injected between commits, so treat the result as a
+// deterministic model, not a cycle-accurate one.
+package sim
+
+import (
+	"fmt"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/topology"
+)
+
+// Result is the simulated schedule plus traffic statistics.
+type Result struct {
+	Schedule *sched.Schedule
+	// Messages is the number of cross-processor messages sent.
+	Messages int
+	// LinkTime is the total time messages spent in the network
+	// (transfer plus queueing), summed over messages.
+	LinkTime int64
+	// MaxQueueDelay is the largest wait any message spent blocked on
+	// busy links beyond its uncontended transfer time.
+	MaxQueueDelay int64
+}
+
+// Run simulates the placement on the network and returns the resulting
+// schedule (validated against the network's uncontended delay as a
+// lower bound: contention can only delay messages, never speed them
+// up).
+func Run(g *dag.Graph, pl *sched.Placement, net *topology.Network) (*Result, error) {
+	if net == nil {
+		return nil, fmt.Errorf("sim: nil network")
+	}
+	if err := pl.Check(g); err != nil {
+		return nil, err
+	}
+	// Processor indices are physical network positions; never compact.
+	if !net.Unbounded() && len(pl.Order) > net.NumProcs() {
+		return nil, fmt.Errorf("sim: placement uses %d processors, network has %d",
+			len(pl.Order), net.NumProcs())
+	}
+	n := g.NumNodes()
+	numProcs := len(pl.Order)
+	res := &Result{Schedule: &sched.Schedule{
+		Graph:    g,
+		ByNode:   make([]sched.Assignment, n),
+		NumProcs: numProcs,
+	}}
+	if n == 0 {
+		return res, nil
+	}
+
+	traffic := topology.NewTraffic(net)
+	done := make([]bool, n)
+	finish := make([]int64, n)
+	// arrival[v] is the max over already-reserved input messages.
+	arrival := make([]int64, n)
+	head := make([]int, numProcs)
+	free := make([]int64, numProcs)
+	remaining := n
+
+	commit := func(v dag.NodeID, p int, start int64) {
+		f := start + g.Weight(v)
+		res.Schedule.ByNode[v] = sched.Assignment{Node: v, Proc: p, Start: start, Finish: f}
+		done[v] = true
+		finish[v] = f
+		free[p] = f
+		head[p]++
+		remaining--
+		if f > res.Schedule.Makespan {
+			res.Schedule.Makespan = f
+		}
+		// Send messages to successors on other processors, reserving
+		// links now (commit order).
+		for _, a := range g.Succs(v) {
+			q := pl.Proc[a.To]
+			if q == p {
+				if f > arrival[a.To] {
+					arrival[a.To] = f
+				}
+				continue
+			}
+			res.Messages++
+			at := traffic.Send(p, q, f, a.Weight)
+			res.LinkTime += at - f
+			if d := (at - f) - net.Delay(p, q, a.Weight); d > res.MaxQueueDelay {
+				res.MaxQueueDelay = d
+			}
+			if at > arrival[a.To] {
+				arrival[a.To] = at
+			}
+		}
+	}
+
+	for remaining > 0 {
+		bestProc := -1
+		var bestStart int64
+		var bestNode dag.NodeID
+		for p := 0; p < numProcs; p++ {
+			if head[p] >= len(pl.Order[p]) {
+				continue
+			}
+			v := pl.Order[p][head[p]]
+			ready := true
+			for _, e := range g.Preds(v) {
+				if !done[e.To] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			start := arrival[v]
+			if free[p] > start {
+				start = free[p]
+			}
+			if bestProc == -1 || start < bestStart {
+				bestProc, bestStart, bestNode = p, start, v
+			}
+		}
+		if bestProc == -1 {
+			return nil, fmt.Errorf("sim: placement order deadlocks against precedence (%d tasks left)", remaining)
+		}
+		commit(bestNode, bestProc, bestStart)
+	}
+
+	// Self-check: the result must at least satisfy the uncontended hop
+	// model (contention only adds delay to each individual message).
+	lower := func(from, to int, w int64) int64 { return net.Delay(from, to, w) }
+	if err := res.Schedule.ValidateWith(lower); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line: a name and one value per x position.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders a terminal line chart: x positions are category labels,
+// each series is plotted with the first letter of its name. It is used
+// to reproduce the paper's figures in text form.
+func Chart(title string, xlabels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	if len(xlabels) == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if min > 0 {
+		min = 0
+	}
+	if max <= min {
+		max = min + 1
+	}
+
+	const colWidth = 12
+	width := colWidth * len(xlabels)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		f := (v - min) / (max - min)
+		r := int(math.Round(f * float64(height-1)))
+		return height - 1 - r
+	}
+	colOf := func(x int) int { return x*colWidth + colWidth/2 }
+
+	// Plot markers (one distinct glyph per series); a '*' notes
+	// overlapping points.
+	markers := []byte("CDMHUoxv+#@%")
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for x, v := range s.Values {
+			if x >= len(xlabels) {
+				break
+			}
+			r, c := rowOf(v), colOf(x)
+			switch grid[r][c] {
+			case ' ':
+				grid[r][c] = marker
+			default:
+				grid[r][c] = '*'
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	labelW := 10
+	for r := 0; r < height; r++ {
+		v := max - (max-min)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*.2f |%s\n", labelW, v, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", labelW+1) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(strings.Repeat(" ", labelW+2))
+	for _, l := range xlabels {
+		if len(l) > colWidth-1 {
+			l = l[:colWidth-1]
+		}
+		fmt.Fprintf(&b, "%-*s", colWidth, l)
+	}
+	b.WriteByte('\n')
+
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = fmt.Sprintf("%c=%s", markers[i%len(markers)], s.Name)
+	}
+	b.WriteString("legend: " + strings.Join(names, " ") + " (*=overlap)\n")
+	return b.String()
+}

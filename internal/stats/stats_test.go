@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	if min, max = MinMax(nil); min != 0 || max != 0 {
+		t.Error("empty MinMax should be 0,0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median wrong")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	n := CountIf([]float64{0.5, 1.5, 0.9, 2}, func(x float64) bool { return x < 1 })
+	if n != 2 {
+		t.Errorf("CountIf = %d, want 2", n)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Quantile(xs, 0), 1) || !almost(Quantile(xs, 1), 5) {
+		t.Error("extremes wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 3) {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile(xs, 0.25), 2) {
+		t.Errorf("q25 = %v", Quantile(xs, 0.25))
+	}
+	if !almost(Quantile([]float64{10}, 0.9), 10) {
+		t.Error("singleton wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty should be 0")
+	}
+	// Interpolation: q=0.5 over {1,2} = 1.5.
+	if !almost(Quantile([]float64{2, 1}, 0.5), 1.5) {
+		t.Errorf("interpolated = %v", Quantile([]float64{2, 1}, 0.5))
+	}
+	// Must not mutate input.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestAcc(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.N() != 0 {
+		t.Error("zero Acc not zero")
+	}
+	a.Add(2)
+	a.Add(4)
+	if !almost(a.Mean(), 3) || a.N() != 2 || !almost(a.Sum(), 6) {
+		t.Errorf("Acc: mean %v n %d sum %v", a.Mean(), a.N(), a.Sum())
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Bounded magnitudes so the sum cannot overflow.
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		min, max := MinMax(xs)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Title", "", "A", "B")
+	tbl.AddRow("row1", F(1.234), I(7))
+	tbl.AddRow("longer row label", F(0.5), I(42))
+	out := tbl.String()
+	for _, want := range []string{"Title", "A", "B", "row1", "1.23", "42", "longer row label"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tbl := NewTable("", "A", "B", "C")
+	tbl.AddRow("only")
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("ignored", "a", "b")
+	tbl.AddRow("plain", `has "quote", and comma`)
+	out := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"has ""quote"", and comma"`) {
+		t.Errorf("quoting wrong: %q", lines[1])
+	}
+	if strings.Contains(out, "ignored") {
+		t.Error("CSV should not include the title")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); !almost(got, 1) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); !almost(got, -1) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson([]float64{1, 2}, []float64{5, 5}); got != 0 {
+		t.Errorf("zero variance = %v", got)
+	}
+	if got := Pearson([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("short input = %v", got)
+	}
+	if got := Pearson([]float64{1, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("mismatched input = %v", got)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	out := Chart("Fig", []string{"x1", "x2", "x3"},
+		[]Series{
+			{Name: "CLANS", Values: []float64{0.1, 0.2, 0.3}},
+			{Name: "DSC", Values: []float64{0.3, 0.2, 0.1}},
+		}, 8)
+	for _, want := range []string{"Fig", "x1", "legend", "CLANS", "DSC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("Fig", nil, nil, 8)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// All-equal values must not divide by zero.
+	out := Chart("Fig", []string{"a"}, []Series{{Name: "S", Values: []float64{0}}}, 6)
+	if out == "" {
+		t.Error("constant chart empty")
+	}
+}

@@ -1,0 +1,209 @@
+// Package topology models homogeneous processor interconnection
+// networks. The paper's testbed assumes a fully connected network where
+// any cross-processor message costs exactly the PDG edge weight; the
+// Mapping Heuristic (MH) was however designed to exploit topology and
+// contention, so this package also provides rings, meshes, hypercubes
+// and stars with hop-count routing and an optional per-link contention
+// tracker. These power the topology example and the ablation benches.
+package topology
+
+import (
+	"fmt"
+)
+
+// Network is an undirected processor interconnect with unit-capacity
+// links. Processors are numbered 0..N-1. A fully connected network may
+// be unbounded (N == 0), meaning new processors can always be added one
+// hop away from everything else.
+type Network struct {
+	name      string
+	n         int     // 0 = unbounded fully connected
+	adj       [][]int // adjacency lists (nil for fully connected)
+	dist      [][]int // all-pairs hop counts (nil for fully connected)
+	nextHop   [][]int // nextHop[a][b]: first hop from a toward b
+	perHopLat int64   // fixed per-hop latency added to each hop (0 by default)
+}
+
+// FullyConnected returns a complete network of n processors; n == 0
+// means "as many processors as the scheduler asks for".
+func FullyConnected(n int) *Network {
+	return &Network{name: fmt.Sprintf("fully-connected(%d)", n), n: n}
+}
+
+// Ring returns a bidirectional ring of n ≥ 2 processors.
+func Ring(n int) *Network {
+	if n < 2 {
+		panic("topology: ring needs at least 2 processors")
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + 1) % n, (i + n - 1) % n}
+	}
+	return fromAdj(fmt.Sprintf("ring(%d)", n), adj)
+}
+
+// Mesh returns a w×h 2D mesh (no wraparound), processors numbered row
+// major.
+func Mesh(w, h int) *Network {
+	if w < 1 || h < 1 || w*h < 2 {
+		panic("topology: mesh needs at least 2 processors")
+	}
+	n := w * h
+	adj := make([][]int, n)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var nb []int
+			if x > 0 {
+				nb = append(nb, id(x-1, y))
+			}
+			if x < w-1 {
+				nb = append(nb, id(x+1, y))
+			}
+			if y > 0 {
+				nb = append(nb, id(x, y-1))
+			}
+			if y < h-1 {
+				nb = append(nb, id(x, y+1))
+			}
+			adj[id(x, y)] = nb
+		}
+	}
+	return fromAdj(fmt.Sprintf("mesh(%dx%d)", w, h), adj)
+}
+
+// Hypercube returns a hypercube of dimension dim (2^dim processors).
+func Hypercube(dim int) *Network {
+	if dim < 1 || dim > 20 {
+		panic("topology: hypercube dimension out of range")
+	}
+	n := 1 << uint(dim)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for b := 0; b < dim; b++ {
+			adj[i] = append(adj[i], i^(1<<uint(b)))
+		}
+	}
+	return fromAdj(fmt.Sprintf("hypercube(%d)", dim), adj)
+}
+
+// Star returns a star of n processors with processor 0 as the hub.
+func Star(n int) *Network {
+	if n < 2 {
+		panic("topology: star needs at least 2 processors")
+	}
+	adj := make([][]int, n)
+	for i := 1; i < n; i++ {
+		adj[0] = append(adj[0], i)
+		adj[i] = []int{0}
+	}
+	return fromAdj(fmt.Sprintf("star(%d)", n), adj)
+}
+
+func fromAdj(name string, adj [][]int) *Network {
+	n := len(adj)
+	net := &Network{name: name, n: n, adj: adj}
+	net.dist = make([][]int, n)
+	net.nextHop = make([][]int, n)
+	for s := 0; s < n; s++ {
+		dist := make([]int, n)
+		next := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+			next[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					if u == s {
+						next[v] = v
+					} else {
+						next[v] = next[u]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, d := range dist {
+			if d == -1 {
+				panic(fmt.Sprintf("topology: %s is disconnected (no path %d->%d)", name, s, i))
+			}
+		}
+		net.dist[s] = dist
+		net.nextHop[s] = next
+	}
+	return net
+}
+
+// Name returns a human-readable description.
+func (t *Network) Name() string { return t.name }
+
+// NumProcs returns the processor count; 0 means unbounded.
+func (t *Network) NumProcs() int { return t.n }
+
+// Unbounded reports whether the network can grow arbitrarily.
+func (t *Network) Unbounded() bool { return t.n == 0 && t.adj == nil }
+
+// SetPerHopLatency sets a fixed latency added per hop traversed (on top
+// of the message transmission weight). Zero by default, matching the
+// paper's model.
+func (t *Network) SetPerHopLatency(l int64) {
+	if l < 0 {
+		panic("topology: negative latency")
+	}
+	t.perHopLat = l
+}
+
+// Hops returns the number of hops between processors a and b (0 when
+// a == b; 1 for any pair on a fully connected network).
+func (t *Network) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if t.adj == nil {
+		return 1
+	}
+	t.bound(a)
+	t.bound(b)
+	return t.dist[a][b]
+}
+
+// Delay returns the uncontended transfer time for a message of the
+// given weight from a to b: weight per hop (store-and-forward) plus the
+// per-hop latency. Same-processor messages are free.
+func (t *Network) Delay(a, b int, weight int64) int64 {
+	h := int64(t.Hops(a, b))
+	return h * (weight + t.perHopLat)
+}
+
+// Route returns the shortest path from a to b as a processor sequence
+// including both endpoints. On a fully connected network the path is
+// direct.
+func (t *Network) Route(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	if t.adj == nil {
+		return []int{a, b}
+	}
+	t.bound(a)
+	t.bound(b)
+	path := []int{a}
+	cur := a
+	for cur != b {
+		cur = t.nextHop[cur][b]
+		path = append(path, cur)
+	}
+	return path
+}
+
+func (t *Network) bound(p int) {
+	if p < 0 || p >= t.n {
+		panic(fmt.Sprintf("topology: processor %d out of range [0,%d)", p, t.n))
+	}
+}

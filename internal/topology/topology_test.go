@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestFullyConnected(t *testing.T) {
+	net := FullyConnected(4)
+	if net.Hops(1, 3) != 1 || net.Hops(2, 2) != 0 {
+		t.Error("fully connected hops wrong")
+	}
+	if net.Delay(0, 1, 10) != 10 {
+		t.Errorf("Delay = %d, want 10", net.Delay(0, 1, 10))
+	}
+	if net.Delay(1, 1, 10) != 0 {
+		t.Error("same-proc delay should be 0")
+	}
+	if net.Unbounded() {
+		t.Error("bounded net reported unbounded")
+	}
+	if !FullyConnected(0).Unbounded() {
+		t.Error("FullyConnected(0) should be unbounded")
+	}
+}
+
+func TestRingHops(t *testing.T) {
+	net := Ring(6)
+	cases := []struct{ a, b, want int }{
+		{0, 1, 1}, {0, 3, 3}, {0, 5, 1}, {1, 4, 3}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := net.Hops(c.a, c.b); got != c.want {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	net := Mesh(3, 3) // ids: 0..8 row-major
+	if got := net.Hops(0, 8); got != 4 {
+		t.Errorf("mesh Hops(0,8) = %d, want 4 (Manhattan)", got)
+	}
+	if got := net.Hops(3, 5); got != 2 {
+		t.Errorf("mesh Hops(3,5) = %d, want 2", got)
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	net := Hypercube(3)
+	if net.NumProcs() != 8 {
+		t.Fatalf("NumProcs = %d, want 8", net.NumProcs())
+	}
+	// Hamming distance.
+	if got := net.Hops(0, 7); got != 3 {
+		t.Errorf("hypercube Hops(0,7) = %d, want 3", got)
+	}
+	if got := net.Hops(5, 4); got != 1 {
+		t.Errorf("hypercube Hops(5,4) = %d, want 1", got)
+	}
+}
+
+func TestStarHops(t *testing.T) {
+	net := Star(5)
+	if got := net.Hops(1, 2); got != 2 {
+		t.Errorf("star Hops(1,2) = %d, want 2", got)
+	}
+	if got := net.Hops(0, 4); got != 1 {
+		t.Errorf("star Hops(0,4) = %d, want 1", got)
+	}
+}
+
+func TestRouteEndpoints(t *testing.T) {
+	net := Mesh(4, 4)
+	r := net.Route(0, 15)
+	if r[0] != 0 || r[len(r)-1] != 15 {
+		t.Errorf("route endpoints wrong: %v", r)
+	}
+	if len(r) != net.Hops(0, 15)+1 {
+		t.Errorf("route length %d inconsistent with hops %d", len(r), net.Hops(0, 15))
+	}
+	for i := 0; i+1 < len(r); i++ {
+		if net.Hops(r[i], r[i+1]) != 1 {
+			t.Errorf("route step %d->%d is not one hop", r[i], r[i+1])
+		}
+	}
+}
+
+func TestPerHopLatency(t *testing.T) {
+	net := Ring(4)
+	net.SetPerHopLatency(3)
+	// 2 hops, each weight 10 + latency 3.
+	if got := net.Delay(0, 2, 10); got != 26 {
+		t.Errorf("Delay with latency = %d, want 26", got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ring1":    func() { Ring(1) },
+		"mesh0":    func() { Mesh(0, 5) },
+		"hcube0":   func() { Hypercube(0) },
+		"star1":    func() { Star(1) },
+		"negLat":   func() { FullyConnected(2).SetPerHopLatency(-1) },
+		"hopsOOR":  func() { Ring(4).Hops(0, 9) },
+		"routeOOR": func() { Mesh(2, 2).Route(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTrafficSerializesOnSharedLink(t *testing.T) {
+	net := Star(3) // procs 1 and 2 both reach each other via hub 0
+	tr := NewTraffic(net)
+	// First message 1->2 occupies links (0,1) then (0,2).
+	a1 := tr.Send(1, 2, 0, 10)
+	if a1 != 20 {
+		t.Fatalf("first arrival = %d, want 20 (two 10-unit hops)", a1)
+	}
+	// Second message over the same route, also ready at 0, must queue.
+	a2 := tr.Send(1, 2, 0, 10)
+	if a2 <= a1 {
+		t.Errorf("second arrival %d should be delayed past %d", a2, a1)
+	}
+}
+
+func TestTrafficPeekDoesNotReserve(t *testing.T) {
+	net := Ring(4)
+	tr := NewTraffic(net)
+	p1 := tr.Peek(0, 1, 0, 5)
+	p2 := tr.Peek(0, 1, 0, 5)
+	if p1 != p2 {
+		t.Error("Peek reserved link capacity")
+	}
+	got := tr.Send(0, 1, 0, 5)
+	if got != p1 {
+		t.Errorf("Send = %d, want peeked %d", got, p1)
+	}
+}
+
+func TestTrafficSameProc(t *testing.T) {
+	tr := NewTraffic(Ring(4))
+	if tr.Send(2, 2, 7, 100) != 7 {
+		t.Error("same-proc send should arrive at ready time")
+	}
+}
+
+func TestTrafficReset(t *testing.T) {
+	net := Ring(4)
+	tr := NewTraffic(net)
+	tr.Send(0, 2, 0, 10)
+	tr.Reset()
+	if got := tr.Send(0, 2, 0, 10); got != 20 {
+		t.Errorf("after Reset arrival = %d, want 20", got)
+	}
+}
+
+func TestDisconnectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("disconnected adjacency did not panic")
+		}
+	}()
+	fromAdj("broken", [][]int{{}, {}})
+}

@@ -1,0 +1,71 @@
+package topology
+
+// Traffic tracks per-link occupancy so that schedulers (MH) can model
+// contention: two messages crossing the same link serialize. Links are
+// undirected and have unit capacity. The zero value is not usable; call
+// NewTraffic.
+type Traffic struct {
+	net  *Network
+	busy map[link]int64 // time at which the link becomes free
+}
+
+type link struct{ a, b int }
+
+func mkLink(a, b int) link {
+	if a > b {
+		a, b = b, a
+	}
+	return link{a, b}
+}
+
+// NewTraffic returns an empty contention tracker for net.
+func NewTraffic(net *Network) *Traffic {
+	return &Traffic{net: net, busy: make(map[link]int64)}
+}
+
+// Send reserves the links on the route from a to b for a message of the
+// given weight that becomes available at ready, and returns its arrival
+// time at b. Store-and-forward: the message occupies each link of the
+// route in sequence for `weight + perHopLatency` time units, waiting
+// whenever a link is busy. Same-processor sends arrive immediately.
+func (tr *Traffic) Send(a, b int, ready, weight int64) int64 {
+	if a == b {
+		return ready
+	}
+	route := tr.net.Route(a, b)
+	t := ready
+	for i := 0; i+1 < len(route); i++ {
+		l := mkLink(route[i], route[i+1])
+		start := t
+		if f := tr.busy[l]; f > start {
+			start = f
+		}
+		t = start + weight + tr.net.perHopLat
+		tr.busy[l] = t
+	}
+	return t
+}
+
+// Peek returns the arrival time Send would produce without reserving
+// any link.
+func (tr *Traffic) Peek(a, b int, ready, weight int64) int64 {
+	if a == b {
+		return ready
+	}
+	route := tr.net.Route(a, b)
+	t := ready
+	for i := 0; i+1 < len(route); i++ {
+		l := mkLink(route[i], route[i+1])
+		start := t
+		if f := tr.busy[l]; f > start {
+			start = f
+		}
+		t = start + weight + tr.net.perHopLat
+	}
+	return t
+}
+
+// Reset clears all reservations.
+func (tr *Traffic) Reset() {
+	tr.busy = make(map[link]int64)
+}

@@ -1,0 +1,332 @@
+// Package workloads builds the structured "application class" task
+// graphs the paper's conclusion calls for as the next step beyond
+// random PDGs: DAGs shaped like real parallel computations, with a
+// tunable communication-to-computation scale. They drive the examples
+// and the application-class benches.
+//
+// Every constructor takes task and message cost parameters explicitly,
+// so callers control the granularity regime the graph lands in.
+package workloads
+
+import (
+	"fmt"
+
+	"schedcomp/internal/dag"
+)
+
+// FFT returns the task graph of a radix-2 FFT over 2^k points: k+1
+// ranks of 2^k butterfly tasks, each task feeding the two tasks of the
+// next rank that share its butterfly pair. taskCost is each
+// butterfly's execution time; msgCost the weight of each edge.
+func FFT(k int, taskCost, msgCost int64) *dag.Graph {
+	if k < 1 || k > 16 {
+		panic("workloads: FFT size out of range")
+	}
+	n := 1 << uint(k)
+	g := dag.New(fmt.Sprintf("fft-%d", n))
+	ranks := make([][]dag.NodeID, k+1)
+	for r := 0; r <= k; r++ {
+		ranks[r] = make([]dag.NodeID, n)
+		for i := 0; i < n; i++ {
+			ranks[r][i] = g.AddNode(taskCost)
+		}
+	}
+	for r := 0; r < k; r++ {
+		stride := 1 << uint(k-r-1)
+		for i := 0; i < n; i++ {
+			partner := i ^ stride
+			g.MustAddEdge(ranks[r][i], ranks[r+1][i], msgCost)
+			g.MustAddEdge(ranks[r][i], ranks[r+1][partner], msgCost)
+		}
+	}
+	return g
+}
+
+// GaussianElimination returns the task graph of unblocked Gaussian
+// elimination on an n×n matrix: for each pivot column k there is a
+// pivot task followed by n-k-1 row-update tasks, each depending on the
+// pivot task and on its own row's update from the previous step.
+func GaussianElimination(n int, taskCost, msgCost int64) *dag.Graph {
+	if n < 2 || n > 200 {
+		panic("workloads: Gaussian elimination size out of range")
+	}
+	g := dag.New(fmt.Sprintf("gauss-%d", n))
+	// prev[r] is the task that last updated row r.
+	prev := make([]dag.NodeID, n)
+	for r := range prev {
+		prev[r] = -1
+	}
+	for k := 0; k < n-1; k++ {
+		pivot := g.AddNode(taskCost)
+		if prev[k] >= 0 {
+			g.MustAddEdge(prev[k], pivot, msgCost)
+		}
+		prev[k] = pivot
+		for r := k + 1; r < n; r++ {
+			upd := g.AddNode(taskCost)
+			g.MustAddEdge(pivot, upd, msgCost)
+			if prev[r] >= 0 {
+				g.MustAddEdge(prev[r], upd, msgCost)
+			}
+			prev[r] = upd
+		}
+	}
+	return g
+}
+
+// LU returns the task graph of a tiled LU decomposition with t×t
+// tiles: diagonal factorizations, panel solves and trailing-matrix
+// updates with the classic dependence pattern.
+func LU(t int, taskCost, msgCost int64) *dag.Graph {
+	if t < 2 || t > 30 {
+		panic("workloads: LU tile count out of range")
+	}
+	g := dag.New(fmt.Sprintf("lu-%dx%d", t, t))
+	// state[i][j] is the task that last wrote tile (i,j).
+	state := make([][]dag.NodeID, t)
+	for i := range state {
+		state[i] = make([]dag.NodeID, t)
+		for j := range state[i] {
+			state[i][j] = -1
+		}
+	}
+	dep := func(task dag.NodeID, i, j int) {
+		if state[i][j] >= 0 {
+			g.MustAddEdge(state[i][j], task, msgCost)
+		}
+		state[i][j] = task
+	}
+	for k := 0; k < t; k++ {
+		diag := g.AddNode(2 * taskCost) // getrf is heavier
+		dep(diag, k, k)
+		for j := k + 1; j < t; j++ {
+			trsmRow := g.AddNode(taskCost)
+			g.MustAddEdge(diag, trsmRow, msgCost)
+			dep(trsmRow, k, j)
+			trsmCol := g.AddNode(taskCost)
+			g.MustAddEdge(diag, trsmCol, msgCost)
+			dep(trsmCol, j, k)
+		}
+		for i := k + 1; i < t; i++ {
+			for j := k + 1; j < t; j++ {
+				gemm := g.AddNode(taskCost)
+				// Depends on the panel tiles (k,j) and (i,k).
+				g.MustAddEdge(state[k][j], gemm, msgCost)
+				g.MustAddEdge(state[i][k], gemm, msgCost)
+				dep(gemm, i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Laplace returns the task graph of iters Jacobi sweeps over a w×w
+// grid decomposed into s×s strips: each strip's task at iteration t
+// depends on itself and its neighbour strips at iteration t-1.
+func Laplace(s, iters int, taskCost, msgCost int64) *dag.Graph {
+	if s < 2 || s > 40 || iters < 1 || iters > 100 {
+		panic("workloads: Laplace parameters out of range")
+	}
+	g := dag.New(fmt.Sprintf("laplace-%dx%d-i%d", s, s, iters))
+	prev := make([]dag.NodeID, s)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for it := 0; it < iters; it++ {
+		cur := make([]dag.NodeID, s)
+		for i := 0; i < s; i++ {
+			cur[i] = g.AddNode(taskCost)
+			if it > 0 {
+				g.MustAddEdge(prev[i], cur[i], msgCost)
+				if i > 0 {
+					g.MustAddEdge(prev[i-1], cur[i], msgCost)
+				}
+				if i < s-1 {
+					g.MustAddEdge(prev[i+1], cur[i], msgCost)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// DivideAndConquer returns a balanced binary divide/merge tree of
+// depth d: 2^d leaf computations between a splitting phase and a
+// merging phase.
+func DivideAndConquer(d int, taskCost, msgCost int64) *dag.Graph {
+	if d < 1 || d > 12 {
+		panic("workloads: divide-and-conquer depth out of range")
+	}
+	g := dag.New(fmt.Sprintf("dnc-%d", d))
+	// Splitting tree.
+	level := []dag.NodeID{g.AddNode(taskCost)}
+	for l := 0; l < d; l++ {
+		var next []dag.NodeID
+		for _, p := range level {
+			a := g.AddNode(taskCost)
+			b := g.AddNode(taskCost)
+			g.MustAddEdge(p, a, msgCost)
+			g.MustAddEdge(p, b, msgCost)
+			next = append(next, a, b)
+		}
+		level = next
+	}
+	// Merging tree.
+	for l := 0; l < d; l++ {
+		var next []dag.NodeID
+		for i := 0; i < len(level); i += 2 {
+			m := g.AddNode(taskCost)
+			g.MustAddEdge(level[i], m, msgCost)
+			g.MustAddEdge(level[i+1], m, msgCost)
+			next = append(next, m)
+		}
+		level = next
+	}
+	return g
+}
+
+// ForkJoin returns s sequential stages of w-wide fork-join sections.
+func ForkJoin(stages, width int, taskCost, msgCost int64) *dag.Graph {
+	if stages < 1 || width < 1 || stages*width > 100000 {
+		panic("workloads: fork-join parameters out of range")
+	}
+	g := dag.New(fmt.Sprintf("forkjoin-%dx%d", stages, width))
+	prev := g.AddNode(taskCost)
+	for s := 0; s < stages; s++ {
+		join := g.AddNode(taskCost)
+		for i := 0; i < width; i++ {
+			v := g.AddNode(taskCost)
+			g.MustAddEdge(prev, v, msgCost)
+			g.MustAddEdge(v, join, msgCost)
+		}
+		prev = join
+	}
+	return g
+}
+
+// Pipeline returns a p-stage software pipeline processing b data
+// blocks: task (s,b) depends on (s-1,b) (the same block's previous
+// stage) and (s,b-1) (the stage's previous block).
+func Pipeline(stages, blocks int, taskCost, msgCost int64) *dag.Graph {
+	if stages < 1 || blocks < 1 || stages*blocks > 100000 {
+		panic("workloads: pipeline parameters out of range")
+	}
+	g := dag.New(fmt.Sprintf("pipeline-%dx%d", stages, blocks))
+	prevStage := make([]dag.NodeID, blocks)
+	for s := 0; s < stages; s++ {
+		var prevBlock dag.NodeID = -1
+		for b := 0; b < blocks; b++ {
+			v := g.AddNode(taskCost)
+			if s > 0 {
+				g.MustAddEdge(prevStage[b], v, msgCost)
+			}
+			if prevBlock >= 0 {
+				g.MustAddEdge(prevBlock, v, msgCost)
+			}
+			prevStage[b] = v
+			prevBlock = v
+		}
+	}
+	return g
+}
+
+// Cholesky returns the task graph of a tiled Cholesky factorization
+// with t×t tiles (lower triangle): POTRF on diagonals, TRSM panels,
+// SYRK/GEMM updates with the classic dependences.
+func Cholesky(t int, taskCost, msgCost int64) *dag.Graph {
+	if t < 2 || t > 30 {
+		panic("workloads: Cholesky tile count out of range")
+	}
+	g := dag.New(fmt.Sprintf("cholesky-%dx%d", t, t))
+	state := make([][]dag.NodeID, t)
+	for i := range state {
+		state[i] = make([]dag.NodeID, t)
+		for j := range state[i] {
+			state[i][j] = -1
+		}
+	}
+	dep := func(task dag.NodeID, i, j int) {
+		if state[i][j] >= 0 {
+			g.MustAddEdge(state[i][j], task, msgCost)
+		}
+		state[i][j] = task
+	}
+	for k := 0; k < t; k++ {
+		potrf := g.AddNode(2 * taskCost)
+		dep(potrf, k, k)
+		for i := k + 1; i < t; i++ {
+			trsm := g.AddNode(taskCost)
+			g.MustAddEdge(potrf, trsm, msgCost)
+			dep(trsm, i, k)
+		}
+		for i := k + 1; i < t; i++ {
+			for j := k + 1; j <= i; j++ {
+				upd := g.AddNode(taskCost)
+				g.MustAddEdge(state[i][k], upd, msgCost)
+				if j != i {
+					g.MustAddEdge(state[j][k], upd, msgCost)
+				}
+				dep(upd, i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Stencil2D returns iters sweeps over a t×t tile grid where each tile
+// at iteration s depends on itself and its 4-neighbours at iteration
+// s-1 (a 5-point Jacobi stencil at tile granularity).
+func Stencil2D(t, iters int, taskCost, msgCost int64) *dag.Graph {
+	if t < 2 || t > 20 || iters < 1 || iters > 50 {
+		panic("workloads: Stencil2D parameters out of range")
+	}
+	g := dag.New(fmt.Sprintf("stencil2d-%dx%d-i%d", t, t, iters))
+	id := func(x, y int) int { return y*t + x }
+	prev := make([]dag.NodeID, t*t)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for s := 0; s < iters; s++ {
+		cur := make([]dag.NodeID, t*t)
+		for y := 0; y < t; y++ {
+			for x := 0; x < t; x++ {
+				v := g.AddNode(taskCost)
+				cur[id(x, y)] = v
+				if s > 0 {
+					g.MustAddEdge(prev[id(x, y)], v, msgCost)
+					if x > 0 {
+						g.MustAddEdge(prev[id(x-1, y)], v, msgCost)
+					}
+					if x < t-1 {
+						g.MustAddEdge(prev[id(x+1, y)], v, msgCost)
+					}
+					if y > 0 {
+						g.MustAddEdge(prev[id(x, y-1)], v, msgCost)
+					}
+					if y < t-1 {
+						g.MustAddEdge(prev[id(x, y+1)], v, msgCost)
+					}
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// All returns one representative instance of every workload at the
+// given cost scale, for sweep-style examples and benches.
+func All(taskCost, msgCost int64) []*dag.Graph {
+	return []*dag.Graph{
+		FFT(4, taskCost, msgCost),
+		GaussianElimination(8, taskCost, msgCost),
+		LU(4, taskCost, msgCost),
+		Cholesky(5, taskCost, msgCost),
+		Laplace(6, 6, taskCost, msgCost),
+		Stencil2D(4, 4, taskCost, msgCost),
+		DivideAndConquer(4, taskCost, msgCost),
+		ForkJoin(4, 6, taskCost, msgCost),
+		Pipeline(4, 10, taskCost, msgCost),
+	}
+}

@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+)
+
+func validate(t *testing.T, g *dag.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	g := FFT(3, 10, 5)
+	validate(t, g)
+	// (k+1) ranks of 2^k tasks.
+	if g.NumNodes() != 4*8 {
+		t.Errorf("nodes = %d, want 32", g.NumNodes())
+	}
+	// k ranks of 2 edges per task.
+	if g.NumEdges() != 3*8*2 {
+		t.Errorf("edges = %d, want 48", g.NumEdges())
+	}
+	if len(g.Sources()) != 8 || len(g.Sinks()) != 8 {
+		t.Errorf("sources/sinks = %d/%d, want 8/8", len(g.Sources()), len(g.Sinks()))
+	}
+	// Every non-final task has out-degree exactly 2.
+	if g.AnchorOutDegree() != 2 {
+		t.Errorf("anchor = %d, want 2", g.AnchorOutDegree())
+	}
+}
+
+func TestGaussianEliminationShape(t *testing.T) {
+	n := 6
+	g := GaussianElimination(n, 10, 5)
+	validate(t, g)
+	// Tasks: sum over k of 1 + (n-k-1) for k = 0..n-2.
+	want := 0
+	for k := 0; k < n-1; k++ {
+		want += 1 + (n - k - 1)
+	}
+	if g.NumNodes() != want {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	// Single final task (the last update of row n-1)? The final pivot
+	// chain ends with one task updating row n-1.
+	if len(g.Sinks()) != 1 {
+		t.Errorf("sinks = %d, want 1", len(g.Sinks()))
+	}
+}
+
+func TestLUShape(t *testing.T) {
+	tl := 3
+	g := LU(tl, 10, 5)
+	validate(t, g)
+	// Tasks per step k: 1 diag + 2(t-k-1) trsm + (t-k-1)^2 gemm.
+	want := 0
+	for k := 0; k < tl; k++ {
+		r := tl - k - 1
+		want += 1 + 2*r + r*r
+	}
+	if g.NumNodes() != want {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+}
+
+func TestLaplaceShape(t *testing.T) {
+	g := Laplace(5, 3, 10, 2)
+	validate(t, g)
+	if g.NumNodes() != 5*3 {
+		t.Errorf("nodes = %d, want 15", g.NumNodes())
+	}
+	// Interior strips depend on 3 neighbours; iteration 0 has none.
+	if len(g.Sources()) != 5 {
+		t.Errorf("sources = %d, want 5", len(g.Sources()))
+	}
+	if len(g.Sinks()) != 5 {
+		t.Errorf("sinks = %d, want 5", len(g.Sinks()))
+	}
+}
+
+func TestDivideAndConquerShape(t *testing.T) {
+	d := 3
+	g := DivideAndConquer(d, 10, 5)
+	validate(t, g)
+	// Split tree: 2^(d+1)-1 nodes; merge tree: 2^d - 1 internal nodes.
+	want := (1<<uint(d+1) - 1) + (1<<uint(d) - 1)
+	if g.NumNodes() != want {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Error("divide and conquer should have one source and one sink")
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(3, 4, 10, 5)
+	validate(t, g)
+	if g.NumNodes() != 1+3*(4+1) {
+		t.Errorf("nodes = %d, want 16", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Error("fork-join should have one source and one sink")
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	g := Pipeline(3, 5, 10, 5)
+	validate(t, g)
+	if g.NumNodes() != 15 {
+		t.Errorf("nodes = %d, want 15", g.NumNodes())
+	}
+	// Critical path (no comm) = stages + blocks - 1 tasks.
+	lv, err := g.BLevelsNoComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max int64
+	for _, l := range lv {
+		if l > max {
+			max = l
+		}
+	}
+	if max != int64(3+5-1)*10 {
+		t.Errorf("critical path = %d, want %d", max, (3+5-1)*10)
+	}
+}
+
+func TestCholeskyShape(t *testing.T) {
+	tl := 4
+	g := Cholesky(tl, 10, 5)
+	validate(t, g)
+	// Tasks per step k: 1 potrf + (t-k-1) trsm + T(t-k-1) updates
+	// where T(m) = m(m+1)/2.
+	want := 0
+	for k := 0; k < tl; k++ {
+		m := tl - k - 1
+		want += 1 + m + m*(m+1)/2
+	}
+	if g.NumNodes() != want {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	if len(g.Sinks()) != 1 {
+		t.Errorf("sinks = %d, want 1 (final POTRF)", len(g.Sinks()))
+	}
+}
+
+func TestStencil2DShape(t *testing.T) {
+	g := Stencil2D(3, 2, 10, 5)
+	validate(t, g)
+	if g.NumNodes() != 18 {
+		t.Errorf("nodes = %d, want 18", g.NumNodes())
+	}
+	// Interior tile of the second sweep has 5 inputs.
+	maxIn := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.InDegree(dag.NodeID(v)); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn != 5 {
+		t.Errorf("max in-degree = %d, want 5", maxIn)
+	}
+	if len(g.Sources()) != 9 || len(g.Sinks()) != 9 {
+		t.Errorf("sources/sinks = %d/%d, want 9/9", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestBadParametersPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"fft":     func() { FFT(0, 1, 1) },
+		"gauss":   func() { GaussianElimination(1, 1, 1) },
+		"lu":      func() { LU(1, 1, 1) },
+		"chol":    func() { Cholesky(1, 1, 1) },
+		"lapl":    func() { Laplace(1, 1, 1, 1) },
+		"stencil": func() { Stencil2D(1, 1, 1, 1) },
+		"dnc":     func() { DivideAndConquer(0, 1, 1) },
+		"fj":      func() { ForkJoin(0, 1, 1, 1) },
+		"pipe":    func() { Pipeline(0, 1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted bad parameters", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// All five heuristics must schedule every workload validly, and CLANS
+// must stay at or below serial time.
+func TestAllWorkloadsScheduleValidly(t *testing.T) {
+	for _, g := range All(20, 10) {
+		validate(t, g)
+		for _, s := range heuristics.All() {
+			sc, err := heuristics.Run(s, g)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", s.Name(), g.Name(), err)
+			}
+			if s.Name() == "CLANS" && sc.Makespan > g.SerialTime() {
+				t.Errorf("CLANS on %s: makespan %d > serial %d",
+					g.Name(), sc.Makespan, g.SerialTime())
+			}
+		}
+	}
+}
+
+// On a coarse-grained fork-join every heuristic except HU should beat
+// serial execution comfortably.
+func TestCoarseForkJoinParallelizes(t *testing.T) {
+	g := ForkJoin(2, 8, 1000, 10)
+	for _, name := range []string{"CLANS", "DSC", "MCP", "MH"} {
+		s, err := heuristics.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := heuristics.Run(s, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp := sc.Speedup(); sp < 2 {
+			t.Errorf("%s speedup on coarse fork-join = %v, want >= 2", name, sp)
+		}
+	}
+}

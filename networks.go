@@ -1,0 +1,56 @@
+package schedcomp
+
+import (
+	"schedcomp/internal/heuristics/mh"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/topology"
+)
+
+// Network is a homogeneous processor interconnect. The paper's model
+// is the (unbounded) fully connected network; rings, meshes,
+// hypercubes and stars are provided for the topology-aware Mapping
+// Heuristic.
+type Network = topology.Network
+
+// Network constructors, re-exported from internal/topology.
+var (
+	// FullyConnected returns a complete network; n == 0 means
+	// unbounded (the paper's machine model).
+	FullyConnected = topology.FullyConnected
+	// Ring returns a bidirectional ring of n processors.
+	Ring = topology.Ring
+	// Mesh returns a w×h 2D mesh.
+	Mesh = topology.Mesh
+	// Hypercube returns a 2^dim-processor hypercube.
+	Hypercube = topology.Hypercube
+	// Star returns an n-processor star with processor 0 as hub.
+	Star = topology.Star
+)
+
+// NewMH returns a Mapping Heuristic scheduler bound to a specific
+// network, optionally modelling per-link contention. Pass nil for the
+// paper's unbounded fully connected machine.
+func NewMH(net *Network, contention bool) Scheduler {
+	return &mh.MH{Net: net, Contention: contention}
+}
+
+// ScheduleOnNetwork schedules g with the topology-aware Mapping
+// Heuristic and times the result under the network's hop-based delay
+// model (store-and-forward, no contention in the final timing). It
+// validates the schedule under the same model.
+func ScheduleOnNetwork(g *Graph, net *Network, contention bool) (*Schedule, error) {
+	s := NewMH(net, contention)
+	pl, err := s.Schedule(g)
+	if err != nil {
+		return nil, err
+	}
+	delay := func(from, to int, w int64) int64 { return net.Delay(from, to, w) }
+	sc, err := sched.BuildWith(g, pl, delay)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.ValidateWith(delay); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,156 @@
+// Package schedcomp is a testbed for comparing multiprocessor DAG
+// scheduling heuristics, reproducing Khan, McCreary & Jones, "A
+// Comparison of Multiprocessor Scheduling Heuristics" (ICPP 1994).
+//
+// It provides:
+//
+//   - a weighted-DAG (program dependence graph) model;
+//   - the five heuristics compared in the paper — CLANS (clan-based
+//     graph decomposition), DSC (dominant sequence clustering), MCP
+//     (modified critical path), MH (mapping heuristic) and HU (Hu's
+//     algorithm with communication) — all evaluated under the paper's
+//     common execution model;
+//   - the paper's random PDG generator with control of granularity
+//     band, anchor out-degree and node weight range;
+//   - the numerical comparison testbed that regenerates every table
+//     and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	g := schedcomp.NewGraph("demo")
+//	a := g.AddNode(10)
+//	b := g.AddNode(20)
+//	g.MustAddEdge(a, b, 5)
+//	s, err := schedcomp.ScheduleGraph("CLANS", g)
+//	if err != nil { ... }
+//	fmt.Println(s.Gantt(60))
+//
+// See the examples directory and cmd/schedbench for larger uses.
+package schedcomp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schedcomp/internal/core"
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/dag"
+	"schedcomp/internal/experiments"
+	"schedcomp/internal/gen"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/stats"
+
+	// Register the five paper heuristics plus the classic additions
+	// the paper's conclusion invites into the testbed (ETF, Sarkar's
+	// EZ, Kim & Browne's LC, Sih & Lee's DLS, and a DCP-style
+	// mobility scheduler).
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dcp"
+	_ "schedcomp/internal/heuristics/dls"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/etf"
+	_ "schedcomp/internal/heuristics/ez"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/lc"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+
+	// RAND is the control floor (random topological placement).
+	_ "schedcomp/internal/heuristics/random"
+)
+
+// Core model types, re-exported for API stability.
+type (
+	// Graph is a weighted DAG (program dependence graph).
+	Graph = dag.Graph
+	// NodeID identifies a node within a Graph.
+	NodeID = dag.NodeID
+	// Placement maps tasks to processors with per-processor order.
+	Placement = sched.Placement
+	// Schedule is a fully timed placement.
+	Schedule = sched.Schedule
+	// Scheduler is the interface all heuristics implement.
+	Scheduler = heuristics.Scheduler
+	// Band is a granularity interval.
+	Band = gen.Band
+	// GenParams configures random PDG generation.
+	GenParams = gen.Params
+	// CorpusSpec configures generation of the paper's 60-class corpus.
+	CorpusSpec = corpus.Spec
+	// Corpus is a generated graph population.
+	Corpus = corpus.Corpus
+	// Evaluation holds testbed measurements for a corpus.
+	Evaluation = core.Evaluation
+	// Table is an aligned text table.
+	Table = stats.Table
+)
+
+// NewGraph returns an empty PDG with the given name.
+func NewGraph(name string) *Graph { return dag.New(name) }
+
+// Heuristics returns the names of the registered schedulers.
+func Heuristics() []string { return heuristics.Names() }
+
+// PaperHeuristics returns the five paper heuristics in the paper's
+// column order: CLANS, DSC, MCP, MH, HU.
+func PaperHeuristics() []Scheduler { return heuristics.All() }
+
+// NewScheduler returns a fresh scheduler by name ("CLANS", "DSC",
+// "MCP", "MH" or "HU").
+func NewScheduler(name string) (Scheduler, error) { return heuristics.New(name) }
+
+// ScheduleGraph runs the named heuristic on g and returns the
+// validated, timed schedule.
+func ScheduleGraph(name string, g *Graph) (*Schedule, error) {
+	s, err := heuristics.New(name)
+	if err != nil {
+		return nil, err
+	}
+	return heuristics.Run(s, g)
+}
+
+// Run schedules g with an explicit scheduler instance, builds the
+// timed schedule under the common execution model, and validates it.
+func Run(s Scheduler, g *Graph) (*Schedule, error) { return heuristics.Run(s, g) }
+
+// Generate produces one random PDG in the requested class, seeded
+// deterministically.
+func Generate(p GenParams, seed int64) (*Graph, error) {
+	g, err := gen.Generate(p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("schedcomp: %w", err)
+	}
+	return g, nil
+}
+
+// PaperBands returns the paper's five granularity classes.
+func PaperBands() []Band { return gen.PaperBands() }
+
+// PaperCorpusSpec returns the paper's full 2100-graph corpus
+// specification (60 classes × 35 graphs).
+func PaperCorpusSpec(seed int64) CorpusSpec { return corpus.PaperSpec(seed) }
+
+// SmallCorpusSpec returns a reduced corpus for quick runs and tests.
+func SmallCorpusSpec(seed int64) CorpusSpec { return corpus.SmallSpec(seed) }
+
+// GenerateCorpus builds a classified graph population.
+func GenerateCorpus(spec CorpusSpec) (*Corpus, error) { return corpus.Generate(spec) }
+
+// LoadCorpus reads a corpus previously saved with (*Corpus).Save.
+func LoadCorpus(dir string) (*Corpus, error) { return corpus.Load(dir) }
+
+// Evaluate runs the five paper heuristics on every graph of the corpus
+// and returns the measurements.
+func Evaluate(c *Corpus) (*Evaluation, error) {
+	return core.Evaluate(c, core.Options{})
+}
+
+// Tables regenerates the paper's Tables 2–11 from an evaluation.
+func Tables(ev *Evaluation) []*Table { return experiments.AllTables(ev) }
+
+// Figures renders the paper's Figures 1–6 as text charts.
+func Figures(ev *Evaluation) []string { return experiments.AllFigures(ev) }
+
+// CorpusTable reports the corpus composition (the paper's Table 1).
+func CorpusTable(c *Corpus) *Table { return experiments.Table1(c) }

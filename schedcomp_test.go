@@ -1,0 +1,96 @@
+package schedcomp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := NewGraph("demo")
+	a := g.AddNode(10)
+	b := g.AddNode(20)
+	c := g.AddNode(30)
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(a, c, 5)
+	for _, name := range Heuristics() {
+		s, err := ScheduleGraph(name, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Makespan <= 0 {
+			t.Errorf("%s: makespan %d", name, s.Makespan)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestScheduleGraphUnknown(t *testing.T) {
+	g := NewGraph("x")
+	g.AddNode(1)
+	if _, err := ScheduleGraph("NOPE", g); err == nil {
+		t.Fatal("expected error for unknown heuristic")
+	}
+}
+
+func TestPaperHeuristicsOrder(t *testing.T) {
+	hs := PaperHeuristics()
+	want := []string{"CLANS", "DSC", "MCP", "MH", "HU"}
+	if len(hs) != len(want) {
+		t.Fatalf("got %d heuristics", len(hs))
+	}
+	for i, h := range hs {
+		if h.Name() != want[i] {
+			t.Errorf("heuristic %d = %s, want %s", i, h.Name(), want[i])
+		}
+	}
+}
+
+func TestGenerateClassed(t *testing.T) {
+	bands := PaperBands()
+	g, err := Generate(GenParams{Nodes: 50, Anchor: 3, WMin: 20, WMax: 100, Gran: bands[2]}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bands[2].Contains(g.Granularity()) {
+		t.Errorf("granularity %v outside band", g.Granularity())
+	}
+}
+
+func TestEndToEndSmallCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	spec := SmallCorpusSpec(2)
+	c, err := GenerateCorpus(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGraphs() != 60*spec.GraphsPerSet {
+		t.Fatalf("graphs = %d", c.NumGraphs())
+	}
+	ev, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := Tables(ev)
+	if len(tables) != 10 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		out := tbl.String()
+		for _, h := range []string{"CLANS", "DSC", "MCP", "MH", "HU"} {
+			if !strings.Contains(out, h) {
+				t.Errorf("%s missing column %s", tbl.Title, h)
+			}
+		}
+	}
+	figs := Figures(ev)
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	if got := len(CorpusTable(c).Rows); got != 60 {
+		t.Errorf("corpus table rows = %d", got)
+	}
+}

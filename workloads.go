@@ -1,0 +1,31 @@
+package schedcomp
+
+import "schedcomp/internal/workloads"
+
+// Structured application task graphs (the paper's suggested next step
+// beyond random PDGs), re-exported from internal/workloads. Every
+// constructor takes the per-task execution cost and per-edge message
+// cost, so callers control the granularity regime.
+var (
+	// FFT builds the butterfly graph of a radix-2 FFT over 2^k points.
+	FFT = workloads.FFT
+	// GaussianElimination builds the pivot/update graph of unblocked
+	// Gaussian elimination on an n×n matrix.
+	GaussianElimination = workloads.GaussianElimination
+	// LU builds a tiled LU factorization graph with t×t tiles.
+	LU = workloads.LU
+	// Cholesky builds a tiled Cholesky factorization graph.
+	Cholesky = workloads.Cholesky
+	// Stencil2D builds an iterated 5-point stencil over a tile grid.
+	Stencil2D = workloads.Stencil2D
+	// Laplace builds an iterated Jacobi-sweep stencil graph.
+	Laplace = workloads.Laplace
+	// DivideAndConquer builds a balanced split/merge tree of depth d.
+	DivideAndConquer = workloads.DivideAndConquer
+	// ForkJoin builds sequential stages of parallel sections.
+	ForkJoin = workloads.ForkJoin
+	// Pipeline builds a software pipeline over data blocks.
+	Pipeline = workloads.Pipeline
+	// AllWorkloads returns one representative instance of each.
+	AllWorkloads = workloads.All
+)
