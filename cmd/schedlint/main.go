@@ -1,0 +1,116 @@
+// Command schedlint runs the project's custom static-analysis suite
+// (internal/lint/...) over the module: determinism and execution-model
+// invariants that ordinary vet checks cannot see. It is the static
+// twin of the schedtest determinism harness and is wired into CI.
+//
+// Usage:
+//
+//	go run ./cmd/schedlint ./...          # whole module (CI gate)
+//	go run ./cmd/schedlint ./internal/... # subtree
+//	go run ./cmd/schedlint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := runSuite(suite, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func runSuite(suite []*lint.Analyzer, patterns []string) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			pass := &lint.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d lint.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					file := pos.Filename
+					if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+						file = rel
+					}
+					findings = append(findings, finding{file: file, line: pos.Line, col: pos.Column, msg: d.Message})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.msg < b.msg
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s\n", f.file, f.line, f.col, f.msg)
+	}
+	return len(findings), nil
+}

@@ -239,13 +239,18 @@ func components(members []dag.NodeID, rel func(u, v dag.NodeID) bool) [][]dag.No
 			}
 		}
 	}
-	groups := map[int][]dag.NodeID{}
+	// Group by root over a dense slice rather than a map so the
+	// iteration below is deterministic (roots are member indices).
+	groups := make([][]dag.NodeID, n)
 	for i, v := range members {
 		r := find(i)
 		groups[r] = append(groups[r], v)
 	}
-	out := make([][]dag.NodeID, 0, len(groups))
+	out := make([][]dag.NodeID, 0, n)
 	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
 		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
 		out = append(out, g)
 	}

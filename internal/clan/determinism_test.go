@@ -1,0 +1,54 @@
+package clan
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/gen"
+)
+
+// TestParseDeterministic pins the mapiter fix in components(): grouping
+// by union-find root used to iterate a map, so the member order of
+// parallel/independent blocks could differ between runs. The dense
+// root-indexed grouping must yield an identical tree every time.
+func TestParseDeterministic(t *testing.T) {
+	graphs := []*dag.Graph{
+		gen.MustGenerate(gen.Params{Nodes: 50, Anchor: 3, WMin: 20, WMax: 200, Gran: gen.PaperBands()[0]}, 11),
+		gen.MustGenerate(gen.Params{Nodes: 70, Anchor: 5, WMin: 20, WMax: 400, Gran: gen.PaperBands()[4]}, 12),
+		randomFanGraph(13),
+	}
+	for gi, g := range graphs {
+		first, err := Parse(g)
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		want := first.String()
+		for run := 0; run < 25; run++ {
+			again, err := Parse(g)
+			if err != nil {
+				t.Fatalf("graph %d run %d: %v", gi, run, err)
+			}
+			if got := again.String(); got != want {
+				t.Fatalf("graph %d run %d: tree changed between parses\nfirst:\n%s\nnow:\n%s",
+					gi, run, want, got)
+			}
+		}
+	}
+}
+
+// randomFanGraph builds a graph with many independent components under
+// a common ancestor — the shape that exercises the grouping path in
+// components() hardest.
+func randomFanGraph(seed int64) *dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New("fan")
+	root := g.AddNode(5)
+	sink := g.AddNode(5)
+	for i := 0; i < 30; i++ {
+		v := g.AddNode(int64(1 + rng.Intn(50)))
+		g.MustAddEdge(root, v, int64(1+rng.Intn(10)))
+		g.MustAddEdge(v, sink, int64(1+rng.Intn(10)))
+	}
+	return g
+}

@@ -70,7 +70,7 @@ func defaultFactories() []func() heuristics.Scheduler {
 		fs[i] = func() heuristics.Scheduler {
 			s, err := heuristics.New(name)
 			if err != nil {
-				panic(err)
+				panic("core: " + err.Error())
 			}
 			return s
 		}

@@ -108,7 +108,7 @@ func (g *Graph) AddEdge(from, to NodeID, weight int64) error {
 // tests and examples.
 func (g *Graph) MustAddEdge(from, to NodeID, weight int64) {
 	if err := g.AddEdge(from, to, weight); err != nil {
-		panic(err)
+		panic("dag: MustAddEdge: " + err.Error())
 	}
 }
 

@@ -152,7 +152,8 @@ func (a *adjuster) addToLater(u dag.NodeID, sameBranch bool) bool {
 		var err error
 		a.desc, err = a.g.Descendants()
 		if err != nil {
-			panic(err) // cannot happen: edge goes forward in topo order
+			// Cannot happen: the edge goes forward in topo order.
+			panic("gen: descendants after edge add: " + err.Error())
 		}
 		return true
 	}
@@ -174,7 +175,7 @@ func (a *adjuster) trimDown(degree int) bool {
 				var err error
 				a.desc, err = a.g.Descendants()
 				if err != nil {
-					panic(err)
+					panic("gen: descendants after edge removal: " + err.Error())
 				}
 				return true
 			}

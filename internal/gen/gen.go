@@ -177,7 +177,7 @@ func MustGenerate(p Params, seed int64) *dag.Graph {
 			return g
 		}
 		if !errors.Is(err, ErrGaveUp) {
-			panic(err)
+			panic("gen: " + err.Error())
 		}
 		if attempt > 200 {
 			panic(fmt.Sprintf("gen: no graph in class after %d attempts: %+v", attempt, p))

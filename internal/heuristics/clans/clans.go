@@ -100,6 +100,9 @@ func (c *CLANS) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	if c.SpeedupCheck && s.Makespan > g.SerialTime() {
 		return sched.Serial(g)
 	}

@@ -129,5 +129,8 @@ func (e *EZ) estimate(g *dag.Graph, level []int64, clusters []int) (int64, error
 	if err != nil {
 		return 0, err
 	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
 	return s.Makespan, nil
 }

@@ -74,7 +74,7 @@ func Names() []string {
 	mu.RLock()
 	defer mu.RUnlock()
 	out := make([]string, 0, len(registry))
-	for n := range registry {
+	for n := range registry { //lint:sorted
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -92,7 +92,7 @@ func All() []Scheduler {
 	for _, n := range PaperOrder {
 		s, err := New(n)
 		if err != nil {
-			panic(err)
+			panic("heuristics: " + err.Error())
 		}
 		out = append(out, s)
 	}

@@ -1,6 +1,8 @@
 package heuristics_test
 
 import (
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -9,11 +11,19 @@ import (
 	"schedcomp/internal/paperex"
 	"schedcomp/internal/sched"
 
+	"schedcomp/internal/heuristics/schedtest"
+
 	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dcp"
+	_ "schedcomp/internal/heuristics/dls"
 	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/etf"
+	_ "schedcomp/internal/heuristics/ez"
 	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/lc"
 	_ "schedcomp/internal/heuristics/mcp"
 	_ "schedcomp/internal/heuristics/mh"
+	_ "schedcomp/internal/heuristics/random"
 )
 
 func TestNamesContainPaperFive(t *testing.T) {
@@ -81,6 +91,33 @@ func (badScheduler) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	pl := sched.NewPlacement(g.NumNodes())
 	// Leave everything unassigned.
 	return pl, nil
+}
+
+// TestAllRegisteredHeuristicsDeterministic is the dynamic twin of the
+// schedlint static suite: every registered heuristic (all eleven, via
+// the blank imports above) is run twice over a seeded corpus slice and
+// must reproduce byte-identical placements.
+func TestAllRegisteredHeuristicsDeterministic(t *testing.T) {
+	if len(heuristics.Names()) < 11 {
+		t.Fatalf("expected all 11 heuristics registered, have %v", heuristics.Names())
+	}
+	schedtest.RequireDeterministic(t)
+}
+
+// TestNamesSortedAndStable pins the mapiter fix in Names(): the
+// registry is a map, so Names must sort after collecting and return
+// the same slice on every call.
+func TestNamesSortedAndStable(t *testing.T) {
+	first := heuristics.Names()
+	if !sort.StringsAreSorted(first) {
+		t.Fatalf("Names() not sorted: %v", first)
+	}
+	for i := 0; i < 20; i++ {
+		again := heuristics.Names()
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("Names() unstable: %v then %v", first, again)
+		}
+	}
 }
 
 func TestRunRejectsBadPlacement(t *testing.T) {

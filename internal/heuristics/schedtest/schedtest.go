@@ -5,9 +5,11 @@
 package schedtest
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"schedcomp/internal/corpus"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/gen"
 	"schedcomp/internal/heuristics"
@@ -151,6 +153,69 @@ func Conform(t *testing.T, factory func() heuristics.Scheduler) {
 			}
 		}
 	})
+}
+
+// DeterminismCorpus generates the seeded graph slice RequireDeterministic
+// schedules: one graph from every fifth corpus class, so all five
+// granularity bands and several anchor/weight shapes are covered without
+// making the double-scheduling pass expensive.
+func DeterminismCorpus(t *testing.T, seed int64) []*dag.Graph {
+	t.Helper()
+	spec := corpus.Spec{Seed: seed, GraphsPerSet: 1, MinNodes: 24, MaxNodes: 40}
+	c, err := corpus.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs []*dag.Graph
+	for i := 0; i < len(c.Sets); i += 5 {
+		graphs = append(graphs, c.Sets[i].Graphs...)
+	}
+	return graphs
+}
+
+// placementBytes serializes a placement into a canonical byte string:
+// the per-node processor assignment followed by every processor's
+// execution order. Two placements are identical iff their bytes match.
+func placementBytes(pl *sched.Placement) string {
+	return fmt.Sprintf("proc=%v order=%v", pl.Proc, pl.Order)
+}
+
+// RequireDeterministic is the dynamic twin of the schedlint static
+// suite: it instantiates every registered heuristic twice per corpus
+// graph (fresh instances, so no state can leak between runs) and
+// requires byte-identical placements. Any map-iteration or other
+// nondeterminism in a heuristic shows up here as a placement diff.
+func RequireDeterministic(t *testing.T) {
+	graphs := DeterminismCorpus(t, 20260805)
+	for _, name := range heuristics.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for gi, g := range graphs {
+				first, err := mustNew(t, name).Schedule(g)
+				if err != nil {
+					t.Fatalf("graph %d (%s): %v", gi, g.Name(), err)
+				}
+				second, err := mustNew(t, name).Schedule(g)
+				if err != nil {
+					t.Fatalf("graph %d (%s) second run: %v", gi, g.Name(), err)
+				}
+				a, b := placementBytes(first), placementBytes(second)
+				if a != b {
+					t.Fatalf("graph %d (%s): placements differ between runs\n run 1: %s\n run 2: %s",
+						gi, g.Name(), a, b)
+				}
+			}
+		})
+	}
+}
+
+func mustNew(t *testing.T, name string) heuristics.Scheduler {
+	t.Helper()
+	s, err := heuristics.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 // BuildAndValidate is a convenience wrapper used by heuristic-specific

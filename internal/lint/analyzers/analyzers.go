@@ -1,0 +1,24 @@
+// Package analyzers registers the full schedlint suite. It exists so
+// cmd/schedlint (and any future CI driver) has one place to pull every
+// analyzer from without importing each individually.
+package analyzers
+
+import (
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/floatdet"
+	"schedcomp/internal/lint/mapiter"
+	"schedcomp/internal/lint/panicpolicy"
+	"schedcomp/internal/lint/tiebreak"
+	"schedcomp/internal/lint/uncheckedschedule"
+)
+
+// All returns the schedlint analyzers in stable (alphabetical) order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		floatdet.Analyzer,
+		mapiter.Analyzer,
+		panicpolicy.Analyzer,
+		tiebreak.Analyzer,
+		uncheckedschedule.Analyzer,
+	}
+}

@@ -1,0 +1,73 @@
+// Package floatdet flags floating-point determinism hazards in
+// internal/stats and the heuristic priority code: == and != between
+// float operands (rounding makes exact equality seed-, order- and
+// platform-sensitive) and float64 map keys (equality-based hashing
+// inherits the same problem, and NaN keys are unretrievable). Compare
+// against a tolerance, use ordered comparisons, or key maps by an
+// integer quantization instead.
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"schedcomp/internal/lint"
+)
+
+// Scope lists the package-path fragments this analyzer polices.
+var Scope = []string{"internal/stats", "internal/heuristics"}
+
+// Analyzer is the floatdet pass.
+var Analyzer = &lint.Analyzer{
+	Name: "floatdet",
+	Doc: "flag ==/!= on floats and float map keys in internal/stats and " +
+		"heuristic priority code; exact float equality is not reproducible",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.PathHasAny(pass.Pkg.Path(), Scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if bothConstant(pass, x.X, x.Y) {
+					return true
+				}
+				if isFloat(pass, x.X) || isFloat(pass, x.Y) {
+					pass.Reportf(x.OpPos,
+						"%s on floating-point values (%s) is not reproducible; compare with a tolerance or restructure",
+						x.Op, lint.ExprString(x))
+				}
+			case *ast.MapType:
+				if tv, ok := pass.TypesInfo.Types[x.Key]; ok && isFloatType(tv.Type) {
+					pass.Reportf(x.Pos(), "map keyed by %s relies on exact float equality; key by an integer quantization instead", tv.Type)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func bothConstant(pass *lint.Pass, x, y ast.Expr) bool {
+	tx, okx := pass.TypesInfo.Types[x]
+	ty, oky := pass.TypesInfo.Types[y]
+	return okx && oky && tx.Value != nil && ty.Value != nil
+}
+
+func isFloat(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isFloatType(tv.Type)
+}
+
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

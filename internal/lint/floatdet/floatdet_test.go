@@ -1,0 +1,15 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/floatdet"
+	"schedcomp/internal/lint/linttest"
+)
+
+func TestFloatDet(t *testing.T) {
+	linttest.Run(t, "testdata", floatdet.Analyzer,
+		"schedcomp/internal/stats/fdemo",
+		"schedcomp/internal/report/fscope",
+	)
+}

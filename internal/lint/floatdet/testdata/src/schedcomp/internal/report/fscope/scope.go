@@ -1,0 +1,11 @@
+// Package fscope is outside floatdet's scope (internal/stats,
+// internal/heuristics); nothing here may be flagged.
+package fscope
+
+func exactEqualityOutOfScope(a, b float64) bool {
+	return a == b
+}
+
+func floatMapOutOfScope() map[float64]int {
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package fdemo exercises the floatdet analyzer inside its
+// internal/stats scope.
+package fdemo
+
+func exactEquality(a, b float64) bool {
+	return a == b // want `floatdet: == on floating-point values`
+}
+
+func exactInequality(a, b float64) bool {
+	return a != b // want `floatdet: != on floating-point values`
+}
+
+func mixedConstantCompare(x float64) bool {
+	return x == 0 // want `floatdet: == on floating-point values`
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want `floatdet: == on floating-point values`
+}
+
+type histogram struct {
+	buckets map[float64]int // want `floatdet: map keyed by float64 relies on exact float equality`
+}
+
+func localFloatMap() map[float64]string { // want `floatdet: map keyed by float64`
+	return nil
+}
+
+func orderedCompare(a, b float64) bool {
+	return a < b
+}
+
+func orderedGuard(sum float64) bool {
+	return sum <= 0
+}
+
+func intEquality(a, b int) bool {
+	return a == b
+}
+
+func bothConstant() bool {
+	const eps = 1e-9
+	return eps == 0.0
+}
+
+func intKeyedMap() map[int]float64 {
+	return nil
+}

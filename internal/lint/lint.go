@@ -1,0 +1,154 @@
+// Package lint is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, plus the schedcomp-specific
+// analyzers built on top of it (in subpackages). The x/tools module is
+// deliberately not used so the linter builds from a clean checkout with
+// nothing but the standard library.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. The cmd/schedlint multichecker loads every package of
+// the module (see Loader) and runs the full suite; each analyzer also
+// has a testdata-driven test harness in the linttest subpackage.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos. The message is
+// automatically prefixed with the analyzer name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasPrefix(msg, p.Analyzer.Name+":") {
+		msg = p.Analyzer.Name + ": " + msg
+	}
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// FileFor returns the syntax tree containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Annotated reports whether the statement at pos carries the comment
+// directive //lint:<directive>, either trailing on the same line or on
+// its own line directly above. Directives are written without a space
+// (like //go:build), so gofmt leaves them alone and ast.CommentGroup
+// .Text() stripping does not apply — the raw comment text is matched.
+func (p *Pass) Annotated(pos token.Pos, directive string) bool {
+	f := p.FileFor(pos)
+	if f == nil {
+		return false
+	}
+	want := "//lint:" + directive
+	line := p.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, want) {
+				continue
+			}
+			cl := p.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the function or method called by call, or nil if
+// the callee is not a declared function (e.g. a function-typed
+// variable or a builtin). Explicit generic instantiations like
+// pq.New[T](...) are unwrapped.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	var obj types.Object
+	switch x := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// PathHasAny reports whether the package import path contains any of
+// the given fragments. Used by analyzers whose mandate is limited to a
+// subset of the tree (the fragments are path substrings such as
+// "internal/heuristics").
+func PathHasAny(path string, fragments ...string) bool {
+	for _, fr := range fragments {
+		if strings.Contains(path, fr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExprString renders a (small) expression for use in diagnostics.
+// It intentionally handles only the shapes that appear in messages;
+// anything else renders as "expression".
+func ExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.SelectorExpr:
+		return ExprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return ExprString(x.X) + "[" + ExprString(x.Index) + "]"
+	case *ast.CallExpr:
+		return ExprString(x.Fun) + "(…)"
+	case *ast.StarExpr:
+		return "*" + ExprString(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + ExprString(x.X)
+	case *ast.ParenExpr:
+		return "(" + ExprString(x.X) + ")"
+	case *ast.BinaryExpr:
+		return ExprString(x.X) + " " + x.Op.String() + " " + ExprString(x.Y)
+	}
+	return "expression"
+}

@@ -1,0 +1,87 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schedcomp/internal/lint"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root := moduleRoot(t)
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %q has no go.mod: %v", root, err)
+	}
+}
+
+func TestLoaderLoadsRealPackage(t *testing.T) {
+	l, err := lint.NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadPath("schedcomp/internal/dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "dag" {
+		t.Fatalf("package name = %q, want dag", pkg.Types.Name())
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	if pkg.Types.Scope().Lookup("Graph") == nil {
+		t.Fatal("type Graph not found in schedcomp/internal/dag")
+	}
+	// Loading again must hit the cache and return the identical package.
+	again, err := l.LoadPath("schedcomp/internal/dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("second LoadPath returned a different *Package; cache miss")
+	}
+}
+
+func TestLoaderPatternExpansion(t *testing.T) {
+	l, err := lint.NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/heuristics/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{
+		"schedcomp/internal/heuristics",
+		"schedcomp/internal/heuristics/mh",
+		"schedcomp/internal/heuristics/schedtest",
+	} {
+		if !seen[want] {
+			t.Errorf("pattern ./internal/heuristics/... missed %s (got %d packages)", want, len(pkgs))
+		}
+	}
+	// Deterministic order: paths must come back sorted.
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].Path > pkgs[i].Path {
+			t.Fatalf("packages out of order: %s before %s", pkgs[i-1].Path, pkgs[i].Path)
+		}
+	}
+}

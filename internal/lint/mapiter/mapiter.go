@@ -1,0 +1,58 @@
+// Package mapiter flags `for range` statements over maps inside the
+// packages that must produce deterministic output (the heuristics, the
+// clan decomposition and the graph generator). Go randomizes map
+// iteration order, so any schedule-affecting loop over a map is a
+// nondeterminism bug — the classic source of irreproducible schedules.
+//
+// The fix is to iterate over sorted keys (or sort the collected
+// results). A loop whose output is made order-independent afterwards
+// can be annotated with a trailing or preceding //lint:sorted comment.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"schedcomp/internal/lint"
+)
+
+// Scope lists the package-path fragments this analyzer polices.
+var Scope = []string{"internal/heuristics", "internal/clan", "internal/gen"}
+
+// Analyzer is the mapiter pass.
+var Analyzer = &lint.Analyzer{
+	Name: "mapiter",
+	Doc: "flag nondeterministic map iteration in schedule-producing packages " +
+		"(internal/heuristics, internal/clan, internal/gen); annotate //lint:sorted " +
+		"when the loop's result is made order-independent",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.PathHasAny(pass.Pkg.Path(), Scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Annotated(rs.Pos(), "sorted") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s has nondeterministic order; iterate sorted keys, or annotate //lint:sorted after sorting the result",
+				lint.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata", mapiter.Analyzer,
+		"schedcomp/internal/heuristics/mapiterdemo",
+		"schedcomp/internal/report/mapiterscope",
+	)
+}

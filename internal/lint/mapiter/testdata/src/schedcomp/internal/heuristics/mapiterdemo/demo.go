@@ -1,0 +1,70 @@
+// Package mapiterdemo exercises the mapiter analyzer: its import path
+// places it inside the policed internal/heuristics subtree.
+package mapiterdemo
+
+import "sort"
+
+func flagged(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `mapiter: range over map m has nondeterministic order`
+		out = append(out, v)
+	}
+	return out
+}
+
+func flaggedKeyOnly(prio map[string]int) int {
+	best := 0
+	for k := range prio { // want `mapiter: range over map prio`
+		if prio[k] > best {
+			best = prio[k]
+		}
+	}
+	return best
+}
+
+type state struct {
+	members map[int][]int
+}
+
+func flaggedField(s *state) int {
+	n := 0
+	for _, ms := range s.members { // want `mapiter: range over map s.members`
+		n += len(ms)
+	}
+	return n
+}
+
+func annotatedTrailing(m map[int]string) []string {
+	var out []string
+	for _, v := range m { //lint:sorted
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func annotatedPreceding(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:sorted
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func cleanChannel(ch chan int) int {
+	total := 0
+	for x := range ch {
+		total += x
+	}
+	return total
+}

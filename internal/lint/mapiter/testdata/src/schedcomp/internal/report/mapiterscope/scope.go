@@ -1,0 +1,12 @@
+// Package mapiterscope sits outside the packages mapiter polices
+// (heuristics, clan, gen): map iteration here is not schedule-affecting
+// and must not be flagged.
+package mapiterscope
+
+func unflagged(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

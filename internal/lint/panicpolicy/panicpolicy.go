@@ -1,0 +1,90 @@
+// Package panicpolicy enforces the panic discipline of the library
+// packages under internal/: a panic must carry a constant message
+// prefixed with the package name ("dag: ...", "sched: ..."), so that a
+// crash names its origin without a stack dig and grepping for the
+// message finds the site. Naked panic(err) and other non-constant
+// panic values are flagged.
+//
+// Accepted argument shapes, checked recursively:
+//
+//	panic("dag: self loop")                      // prefixed constant
+//	panic(prefixedConst)                         // named constant
+//	panic("dag: bad edge: " + err.Error())       // prefixed concatenation
+//	panic(fmt.Sprintf("dag: node %d", i))        // prefixed format string
+//	panic(fmt.Errorf("gen: %v", err))            // prefixed format string
+//
+// Commands under cmd/ and the examples are exempt: a main package owns
+// its process and may crash however it likes.
+package panicpolicy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"schedcomp/internal/lint"
+)
+
+// Analyzer is the panicpolicy pass.
+var Analyzer = &lint.Analyzer{
+	Name: "panicpolicy",
+	Doc: "library packages under internal/ may only panic with a constant " +
+		"pkgname:-prefixed message; naked panic(err) is flagged",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !strings.Contains(pass.Pkg.Path()+"/", "internal/") {
+		return nil
+	}
+	prefix := pass.Pkg.Name() + ":"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if allowed(pass, call.Args[0], prefix) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library package %s must carry a constant %q-prefixed message, got panic(%s)",
+				pass.Pkg.Name(), prefix, lint.ExprString(call.Args[0]))
+			return true
+		})
+	}
+	return nil
+}
+
+// allowed reports whether e is a permitted panic argument: a constant
+// string carrying the package prefix, possibly wrapped in string
+// concatenation or an fmt.Sprintf/fmt.Errorf whose format constant
+// carries the prefix.
+func allowed(pass *lint.Pass, e ast.Expr, prefix string) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return allowed(pass, x.X, prefix)
+		}
+	case *ast.CallExpr:
+		fn := lint.CalleeFunc(pass.TypesInfo, x)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(fn.Name() == "Sprintf" || fn.Name() == "Errorf") && len(x.Args) > 0 {
+			return allowed(pass, x.Args[0], prefix)
+		}
+	}
+	return false
+}

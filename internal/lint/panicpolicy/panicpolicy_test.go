@@ -1,0 +1,15 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/panicpolicy"
+)
+
+func TestPanicPolicy(t *testing.T) {
+	linttest.Run(t, "testdata", panicpolicy.Analyzer,
+		"schedcomp/internal/panicdemo",
+		"schedcomp/cmd/panicdemo",
+	)
+}

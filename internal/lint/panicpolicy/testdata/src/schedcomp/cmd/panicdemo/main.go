@@ -1,0 +1,15 @@
+// Command panicdemo is the panicpolicy clean case: main packages under
+// cmd/ own their process and are exempt from the panic discipline.
+package main
+
+import "errors"
+
+func main() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+}
+
+func run() error {
+	return errors.New("nope")
+}

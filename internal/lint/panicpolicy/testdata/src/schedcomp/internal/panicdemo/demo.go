@@ -1,0 +1,50 @@
+// Package panicdemo exercises the panicpolicy analyzer. The package
+// name is panicdemo, so every panic must carry a "panicdemo:" prefix.
+package panicdemo
+
+import (
+	"errors"
+	"fmt"
+)
+
+const prefixedConst = "panicdemo: invariant broken"
+
+func cleanLiteral() {
+	panic("panicdemo: boom")
+}
+
+func cleanConst() {
+	panic(prefixedConst)
+}
+
+func cleanSprintf(i int) {
+	panic(fmt.Sprintf("panicdemo: node %d out of range", i))
+}
+
+func cleanErrorf(err error) {
+	panic(fmt.Errorf("panicdemo: generation failed: %w", err))
+}
+
+func cleanConcat(err error) {
+	panic("panicdemo: setup: " + err.Error())
+}
+
+func nakedError(err error) {
+	panic(err) // want `panicpolicy: panic in library package panicdemo must carry a constant "panicdemo:"-prefixed message, got panic\(err\)`
+}
+
+func wrongPrefix() {
+	panic("otherpkg: boom") // want `panicpolicy: panic in library package panicdemo`
+}
+
+func unprefixedSprintf(i int) {
+	panic(fmt.Sprintf("node %d out of range", i)) // want `panicpolicy: panic in library package panicdemo`
+}
+
+func nonConstantValue(msg string) {
+	panic(msg) // want `panicpolicy: panic in library package panicdemo`
+}
+
+func freshError() {
+	panic(errors.New("panicdemo: not a constant")) // want `panicpolicy: panic in library package panicdemo`
+}

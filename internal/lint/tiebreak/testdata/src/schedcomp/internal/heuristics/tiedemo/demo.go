@@ -1,0 +1,64 @@
+// Package tiedemo exercises the tiebreak analyzer against the real
+// internal/pq heap.
+package tiedemo
+
+import (
+	"sort"
+
+	"schedcomp/internal/pq"
+)
+
+type task struct {
+	id   int
+	prio int64
+}
+
+func singleFieldLiteral() *pq.Heap[task] {
+	return pq.New(func(a, b task) bool { return a.prio < b.prio }) // want `tiebreak: pq comparator orders by the single key x.prio with no tie-break`
+}
+
+func singleFieldNamed() *pq.Heap[task] {
+	less := func(a, b task) bool { return a.prio > b.prio }
+	return pq.New(less) // want `tiebreak: pq comparator orders by the single key x.prio`
+}
+
+func singleIndexedKey(level []int64) *pq.Heap[int] {
+	return pq.New(func(a, b int) bool { return level[a] < level[b] }) // want `tiebreak: pq comparator orders by the single key level\[x\]`
+}
+
+func ignoresArguments() *pq.Heap[task] {
+	return pq.New(func(a, b task) bool { return true }) // want `tiebreak: pq comparator never compares its arguments`
+}
+
+func singleFieldNewFrom(items []task) *pq.Heap[task] {
+	return pq.NewFrom(func(a, b task) bool { return a.prio < b.prio }, items...) // want `tiebreak: pq comparator orders by the single key x.prio`
+}
+
+func properTieBreak() *pq.Heap[task] {
+	return pq.New(func(a, b task) bool {
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		return a.id < b.id
+	})
+}
+
+func properTieBreakNamed(level []int64) *pq.Heap[int] {
+	higher := func(a, b int) bool {
+		if level[a] != level[b] {
+			return level[a] > level[b]
+		}
+		return a < b
+	}
+	return pq.New(higher)
+}
+
+func identityOrder() *pq.Heap[int] {
+	// Comparing the whole element is already a total order.
+	return pq.New(func(a, b int) bool { return a < b })
+}
+
+func notAPQCall(ts []task) {
+	// Single-field comparators passed elsewhere are out of scope.
+	sort.Slice(ts, func(i, j int) bool { return ts[i].prio < ts[j].prio })
+}

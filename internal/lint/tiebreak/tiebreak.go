@@ -1,0 +1,211 @@
+// Package tiebreak flags priority-queue comparators passed to
+// internal/pq that order by a single projected key (one field, one
+// index expression, one computed value) without a secondary
+// comparison. Such a less function is not a total order: elements with
+// equal keys sit in heap-internal order, which depends on insertion
+// history and silently varies as the surrounding code evolves. Every
+// comparator must break ties deterministically, typically by node ID.
+//
+// A comparator that compares the whole elements directly (e.g.
+// func(a, b dag.NodeID) bool { return a < b }) is a total order and is
+// accepted.
+package tiebreak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"schedcomp/internal/lint"
+)
+
+// Analyzer is the tiebreak pass.
+var Analyzer = &lint.Analyzer{
+	Name: "tiebreak",
+	Doc: "flag pq comparators that order by a single key with no deterministic " +
+		"tie-break (non-total orders make heap pop order depend on insertion history)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/pq") {
+				return true
+			}
+			if (fn.Name() != "New" && fn.Name() != "NewFrom") || len(call.Args) == 0 {
+				return true
+			}
+			lit := resolveFuncLit(pass, f, call.Args[0])
+			if lit == nil {
+				return true
+			}
+			checkComparator(pass, call.Args[0], lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveFuncLit returns the function literal behind arg: either the
+// literal itself, or — when arg is an identifier — the literal it was
+// bound to in a := / = / var statement in the same file.
+func resolveFuncLit(pass *lint.Pass, f *ast.File, arg ast.Expr) *ast.FuncLit {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return x
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return nil
+		}
+		var found *ast.FuncLit
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || (pass.TypesInfo.Defs[id] != obj && pass.TypesInfo.Uses[id] != obj) {
+						continue
+					}
+					if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.FuncLit); ok {
+						found = lit
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range s.Names {
+					if pass.TypesInfo.Defs[id] == obj && i < len(s.Values) {
+						if lit, ok := ast.Unparen(s.Values[i]).(*ast.FuncLit); ok {
+							found = lit
+						}
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return nil
+}
+
+func checkComparator(pass *lint.Pass, at ast.Expr, lit *ast.FuncLit) {
+	params := paramObjects(pass.TypesInfo, lit)
+	if len(params) == 0 {
+		return
+	}
+	keys := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, operand := range []ast.Expr{be.X, be.Y} {
+			if key, ok := normalize(pass.TypesInfo, operand, params); ok {
+				keys[key] = true
+			}
+		}
+		return true
+	})
+	switch {
+	case len(keys) == 0:
+		pass.Reportf(at.Pos(), "pq comparator never compares its arguments; the heap order is undefined")
+	case len(keys) == 1 && !keys["#"]:
+		var key string
+		for k := range keys { // single entry
+			key = k
+		}
+		pass.Reportf(at.Pos(),
+			"pq comparator orders by the single key %s with no tie-break; compare a second field (e.g. node ID) so the order is total",
+			strings.ReplaceAll(key, "#", "x"))
+	}
+}
+
+func paramObjects(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// normalize renders operand with every comparator-parameter reference
+// replaced by "#", so that a.prio and b.prio both become "#.prio".
+// The second result is false when the operand does not mention any
+// parameter (e.g. a literal threshold) and contributes no ordering key.
+func normalize(info *types.Info, e ast.Expr, params map[types.Object]bool) (string, bool) {
+	var b strings.Builder
+	uses := false
+	var render func(e ast.Expr)
+	render = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if params[info.Uses[x]] {
+				uses = true
+				b.WriteString("#")
+			} else {
+				b.WriteString(x.Name)
+			}
+		case *ast.SelectorExpr:
+			render(x.X)
+			b.WriteString(".")
+			b.WriteString(x.Sel.Name)
+		case *ast.IndexExpr:
+			render(x.X)
+			b.WriteString("[")
+			render(x.Index)
+			b.WriteString("]")
+		case *ast.CallExpr:
+			render(x.Fun)
+			b.WriteString("(")
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				render(a)
+			}
+			b.WriteString(")")
+		case *ast.ParenExpr:
+			render(x.X)
+		case *ast.UnaryExpr:
+			b.WriteString(x.Op.String())
+			render(x.X)
+		case *ast.StarExpr:
+			b.WriteString("*")
+			render(x.X)
+		case *ast.BinaryExpr:
+			render(x.X)
+			b.WriteString(x.Op.String())
+			render(x.Y)
+		case *ast.BasicLit:
+			b.WriteString(x.Value)
+		default:
+			b.WriteString("?")
+		}
+	}
+	render(e)
+	return b.String(), uses
+}

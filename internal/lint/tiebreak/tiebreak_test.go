@@ -1,0 +1,14 @@
+package tiebreak_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/tiebreak"
+)
+
+func TestTieBreak(t *testing.T) {
+	linttest.Run(t, "testdata", tiebreak.Analyzer,
+		"schedcomp/internal/heuristics/tiedemo",
+	)
+}

@@ -1,0 +1,101 @@
+// Package usdemo exercises the uncheckedschedule analyzer against the
+// real internal/sched package.
+package usdemo
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+func makespanWithoutValidation(g *dag.Graph, pl *sched.Placement) (int64, error) {
+	s, err := sched.Build(g, pl) // want `uncheckedschedule: schedule s built by sched.Build never flows into Validate/ValidateWith`
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}
+
+func discardedBlank(g *dag.Graph, pl *sched.Placement) {
+	_ = sched.MustBuild(g, pl) // want `uncheckedschedule: schedule built by sched.MustBuild is discarded without validation`
+}
+
+func discardedStatement(g *dag.Graph, pl *sched.Placement) {
+	sched.MustBuild(g, pl) // want `uncheckedschedule: schedule built by sched.MustBuild is discarded without validation`
+}
+
+func methodReadOnly(g *dag.Graph, pl *sched.Placement) float64 {
+	s := sched.MustBuild(g, pl) // want `uncheckedschedule: schedule s built by sched.MustBuild never flows into Validate/ValidateWith`
+	return s.Speedup()
+}
+
+func validated(g *dag.Graph, pl *sched.Placement) (int64, error) {
+	s, err := sched.Build(g, pl)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}
+
+func validatedWithModel(g *dag.Graph, pl *sched.Placement, delay sched.DelayFunc) (*sched.Schedule, error) {
+	s, err := sched.BuildWith(g, pl, delay)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ValidateWith(delay); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func escapesByReturn(g *dag.Graph, pl *sched.Placement) (*sched.Schedule, error) {
+	return sched.Build(g, pl)
+}
+
+func escapesToVariableReturn(g *dag.Graph, pl *sched.Placement) (*sched.Schedule, error) {
+	s, err := sched.Build(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func consume(*sched.Schedule) {}
+
+func escapesAsArgument(g *dag.Graph, pl *sched.Placement) error {
+	s, err := sched.Build(g, pl)
+	if err != nil {
+		return err
+	}
+	consume(s)
+	return nil
+}
+
+func escapesIntoStruct(g *dag.Graph, pl *sched.Placement) error {
+	var keep struct{ s *sched.Schedule }
+	s, err := sched.Build(g, pl)
+	if err != nil {
+		return err
+	}
+	keep.s = s
+	_ = keep
+	return nil
+}
+
+func errorDiscardedStatement(s *sched.Schedule) {
+	s.Validate() // want `uncheckedschedule: error from Validate is discarded`
+}
+
+func errorDiscardedBlank(s *sched.Schedule) {
+	_ = s.ValidateWith(nil) // want `uncheckedschedule: error from ValidateWith is discarded`
+}
+
+func errorDiscardedCheck(pl *sched.Placement, g *dag.Graph) {
+	pl.Check(g) // want `uncheckedschedule: error from Check is discarded`
+}
+
+func errorHandled(s *sched.Schedule) error {
+	return s.Validate()
+}

@@ -1,0 +1,250 @@
+// Package uncheckedschedule enforces that every timed schedule built
+// by internal/sched (Build, BuildWith, MustBuild) is checked against
+// the execution model before its timing is consumed. Within the
+// building function the resulting *sched.Schedule must either flow
+// into Validate/ValidateWith, or escape (be returned, stored, or
+// passed to another function that can validate it). A schedule whose
+// makespan is read locally without validation, or that is discarded
+// outright, is flagged.
+//
+// The analyzer also flags discarded error results from the model
+// checkers themselves: a bare statement (or all-blank assignment)
+// calling Validate, ValidateWith or Check throws the verdict away.
+package uncheckedschedule
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"schedcomp/internal/lint"
+)
+
+// Analyzer is the uncheckedschedule pass.
+var Analyzer = &lint.Analyzer{
+	Name: "uncheckedschedule",
+	Doc: "flag schedules built via internal/sched whose result never reaches " +
+		"Validate/ValidateWith in the building function, and discarded errors " +
+		"from Validate/ValidateWith/Check",
+	Run: run,
+}
+
+var builders = map[string]bool{"Build": true, "BuildWith": true, "MustBuild": true}
+var checkers = map[string]bool{"Validate": true, "ValidateWith": true, "Check": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkBody(pass, fd.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	parents := parentMap(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := builderCall(pass, call); fn != nil {
+			checkBuilder(pass, body, parents, call, fn)
+		}
+		if fn := checkerCall(pass, call); fn != nil {
+			checkDiscard(pass, parents, call, fn)
+		}
+		return true
+	})
+}
+
+// builderCall resolves call to one of internal/sched's schedule
+// builders, or nil.
+func builderCall(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !builders[fn.Name()] {
+		return nil
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), "internal/sched") {
+		return nil
+	}
+	return fn
+}
+
+// checkerCall resolves call to a module function or method named
+// Validate/ValidateWith/Check that returns an error, or nil.
+func checkerCall(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !checkers[fn.Name()] {
+		return nil
+	}
+	if !strings.HasPrefix(fn.Pkg().Path(), modulePrefix(pass.Pkg.Path())) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Implements(last, errorInterface()) {
+		return nil
+	}
+	return fn
+}
+
+func modulePrefix(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// checkBuilder inspects what happens to the *Schedule produced by call.
+func checkBuilder(pass *lint.Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, call *ast.CallExpr, fn *types.Func) {
+	parent := parents[call]
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		parent = parents[p]
+	}
+	switch st := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "schedule built by %s.%s is discarded without validation", fn.Pkg().Name(), fn.Name())
+	case *ast.AssignStmt:
+		if len(st.Rhs) != 1 || st.Rhs[0] != call || len(st.Lhs) == 0 {
+			return
+		}
+		id, ok := st.Lhs[0].(*ast.Ident)
+		if !ok {
+			return // assigned into a field/index: escapes
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "schedule built by %s.%s is discarded without validation", fn.Pkg().Name(), fn.Name())
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		validated, escaped := scheduleUse(pass, body, parents, st, obj)
+		if !validated && !escaped {
+			pass.Reportf(call.Pos(),
+				"schedule %s built by %s.%s never flows into Validate/ValidateWith in this function; validate it before using its timing",
+				id.Name, fn.Pkg().Name(), fn.Name())
+		}
+	default:
+		// Returned directly, passed as an argument, etc.: the schedule
+		// escapes and the responsibility moves with it.
+	}
+}
+
+// scheduleUse classifies every use of obj in body outside its defining
+// statement def: validated means it reaches Validate/ValidateWith;
+// escaped means it leaves the function's hands (return, argument,
+// alias, store, address-taken).
+func scheduleUse(pass *lint.Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, def ast.Stmt, obj types.Object) (validated, escaped bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		if within(parents, id, def) {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if p.X == id {
+				if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+					if p.Sel.Name == "Validate" || p.Sel.Name == "ValidateWith" {
+						validated = true
+						return true
+					}
+					return true // other method call: a read, not an escape
+				}
+			}
+			// Field read (s.Makespan): a use, but neither validation nor escape.
+		case *ast.CallExpr:
+			for _, a := range p.Args {
+				if a == id {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt, *ast.KeyValueExpr, *ast.CompositeLit, *ast.SendStmt:
+			escaped = true
+		case *ast.UnaryExpr:
+			escaped = true // address taken or similar
+		case *ast.AssignStmt:
+			for _, r := range p.Rhs {
+				if r == id {
+					escaped = true // aliased into another variable or location
+				}
+			}
+		case *ast.IndexExpr:
+			if p.Index == id {
+				return true
+			}
+			escaped = true
+		}
+		return true
+	})
+	return validated, escaped
+}
+
+// within reports whether node n (tracked through parents) lies inside stmt.
+func within(parents map[ast.Node]ast.Node, n ast.Node, stmt ast.Stmt) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if p == stmt {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDiscard flags bare or all-blank uses of a checker call's error.
+func checkDiscard(pass *lint.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, fn *types.Func) {
+	switch st := parents[call].(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "error from %s is discarded; the schedule may silently violate the execution model", fn.Name())
+	case *ast.AssignStmt:
+		if len(st.Rhs) != 1 || st.Rhs[0] != call {
+			return
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+				return
+			}
+		}
+		pass.Reportf(call.Pos(), "error from %s is discarded; the schedule may silently violate the execution model", fn.Name())
+	}
+}
+
+// parentMap records the parent of every node under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

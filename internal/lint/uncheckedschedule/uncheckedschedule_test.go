@@ -1,0 +1,14 @@
+package uncheckedschedule_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/uncheckedschedule"
+)
+
+func TestUncheckedSchedule(t *testing.T) {
+	linttest.Run(t, "testdata", uncheckedschedule.Analyzer,
+		"schedcomp/internal/heuristics/usdemo",
+	)
+}

@@ -32,7 +32,7 @@ func Build(g *dag.Graph, pl *Placement) (*Schedule, error) {
 func MustBuild(g *dag.Graph, pl *Placement) *Schedule {
 	s, err := Build(g, pl)
 	if err != nil {
-		panic(err)
+		panic("sched: MustBuild: " + err.Error())
 	}
 	return s
 }

@@ -100,6 +100,11 @@ func (s *Schedule) ValidateWith(delay DelayFunc) error {
 		delay = UniformDelay
 	}
 	g := s.Graph
+	// Hand-built schedules may not cover the graph; guard before
+	// indexing ByNode by node ID below.
+	if len(s.ByNode) != g.NumNodes() {
+		return fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.ByNode), g.NumNodes())
+	}
 	for v := 0; v < g.NumNodes(); v++ {
 		av := s.ByNode[v]
 		for _, e := range g.Preds(dag.NodeID(v)) {

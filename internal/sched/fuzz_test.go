@@ -1,0 +1,78 @@
+package sched_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+// byteAt reads raw cyclically so any input length drives the whole
+// schedule construction.
+func byteAt(raw []byte, i int) byte {
+	if len(raw) == 0 {
+		return 0
+	}
+	return raw[i%len(raw)]
+}
+
+// FuzzValidate builds a small DAG and an arbitrary (usually bogus)
+// schedule over it from fuzz input, then requires Validate and
+// ValidateWith to classify it — return nil or an error — without ever
+// panicking. Assignments are corrupted on purpose: wrong node IDs,
+// negative processors and times, truncated ByNode slices.
+func FuzzValidate(f *testing.F) {
+	f.Add(uint8(4), uint64(0b1011), int8(2), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(0), uint64(0), int8(0), []byte{})
+	f.Add(uint8(7), ^uint64(0), int8(-3), []byte{255, 7, 128, 9, 0, 64})
+	f.Add(uint8(3), uint64(1), int8(127), []byte{5})
+
+	f.Fuzz(func(t *testing.T, nNodes uint8, edgeBits uint64, procs int8, raw []byte) {
+		n := int(nNodes % 8)
+		g := dag.New("fuzz")
+		for i := 0; i < n; i++ {
+			g.AddNode(int64(1 + byteAt(raw, i)%16))
+		}
+		bit := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if edgeBits>>(uint(bit)%64)&1 == 1 {
+					g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), int64(byteAt(raw, bit)%8))
+				}
+				bit++
+			}
+		}
+
+		s := &sched.Schedule{Graph: g, NumProcs: int(procs), ByNode: make([]sched.Assignment, n)}
+		for i := range s.ByNode {
+			node := dag.NodeID(i)
+			if byteAt(raw, 3*i)%7 == 0 {
+				node = dag.NodeID(int8(byteAt(raw, 3*i+1))) // corrupt the node ID
+			}
+			start := int64(int8(byteAt(raw, 3*i+1)))
+			s.ByNode[i] = sched.Assignment{
+				Node:   node,
+				Proc:   int(int8(byteAt(raw, 3*i))),
+				Start:  start,
+				Finish: start + int64(int8(byteAt(raw, 3*i+2))),
+			}
+		}
+		if n > 0 && byteAt(raw, n)%5 == 0 {
+			s.ByNode = s.ByNode[:n-1] // schedule that does not cover the graph
+		}
+		s.Makespan = int64(int8(byteAt(raw, n+1)))
+
+		ring := func(from, to int, w int64) int64 {
+			d := from - to
+			if d < 0 {
+				d = -d
+			}
+			return w * int64(1+d)
+		}
+		// Errors are the expected outcome on corrupt schedules; the
+		// property under test is only that none of these panic.
+		_ = s.Validate()
+		_ = s.ValidateWith(nil)
+		_ = s.ValidateWith(ring)
+	})
+}

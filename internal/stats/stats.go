@@ -114,7 +114,10 @@ func Pearson(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	// Zero-variance guard. The sums are non-negative, so <= is the
+	// same predicate as == here without exact float equality (and NaN
+	// inputs still fall through to the NaN quotient below).
+	if sxx <= 0 || syy <= 0 {
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)
