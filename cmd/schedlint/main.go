@@ -7,12 +7,17 @@
 //
 //	go run ./cmd/schedlint ./...          # whole module (CI gate)
 //	go run ./cmd/schedlint ./internal/... # subtree
+//	go run ./cmd/schedlint -json ./...    # NDJSON findings for CI/editors
 //	go run ./cmd/schedlint -list          # describe the analyzers
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+// In -json mode each finding is one JSON object per line with the
+// fields file, line, col, analyzer and message; the default text mode
+// is unchanged. Exit status: 0 clean, 1 diagnostics reported, 2
+// operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +30,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as NDJSON records (file/line/col/analyzer/message)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,74 +49,91 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := runSuite(suite, patterns)
+	findings, err := runSuite(suite, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", n)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(os.Stderr, "schedlint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
 
-func runSuite(suite []*lint.Analyzer, patterns []string) (int, error) {
+// finding is one diagnostic in a machine-consumable shape; the JSON
+// field names are the -json output contract.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runSuite(suite []*lint.Analyzer, patterns []string) ([]finding, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 
-	type finding struct {
-		file      string
-		line, col int
-		msg       string
-	}
 	var findings []finding
 	for _, pkg := range pkgs {
 		for _, a := range suite {
+			a := a
 			pass := &lint.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Loader:    loader,
 				Report: func(d lint.Diagnostic) {
 					pos := pkg.Fset.Position(d.Pos)
 					file := pos.Filename
 					if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
 						file = rel
 					}
-					findings = append(findings, finding{file: file, line: pos.Line, col: pos.Column, msg: d.Message})
+					findings = append(findings, finding{File: file, Line: pos.Line, Col: pos.Column, Analyzer: a.Name, Message: d.Message})
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				return 0, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.msg < b.msg
+		return a.Message < b.Message
 	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s\n", f.file, f.line, f.col, f.msg)
-	}
-	return len(findings), nil
+	return findings, nil
 }

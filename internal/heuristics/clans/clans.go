@@ -266,7 +266,7 @@ func (b *builder) etf(members []dag.NodeID) ([][]dag.NodeID, int64) {
 		}
 		remainingPreds[m] = cnt
 	}
-	var ready []dag.NodeID
+	ready := make([]dag.NodeID, 0, len(members))
 	for _, m := range members {
 		if remainingPreds[m] == 0 {
 			ready = append(ready, m)

@@ -81,7 +81,7 @@ func (b *builder) primitiveDeep(n *clan.Node) (fragment, bool) {
 
 	// Earliest-start list schedule of the quotient (blocks cannot form
 	// cycles: modules are convex, so the quotient of a DAG is a DAG).
-	var ready []int
+	ready := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		if predCount[i] == 0 {
 			ready = append(ready, i)
@@ -157,10 +157,14 @@ func (b *builder) primitiveDeep(n *clan.Node) (fragment, bool) {
 
 	// Materialize: concatenate block home lanes per quotient lane;
 	// blocks' extra lanes become processors of their own.
-	var lanes [][]dag.NodeID
-	var extra [][]dag.NodeID
+	lanes := make([][]dag.NodeID, 0, len(laneBlocks))
+	extra := make([][]dag.NodeID, 0, k)
 	for _, lb := range laneBlocks {
-		var lane []dag.NodeID
+		size := 0
+		for _, blk := range lb {
+			size += len(frags[blk].lanes[0])
+		}
+		lane := make([]dag.NodeID, 0, size)
 		for _, blk := range lb {
 			lane = append(lane, frags[blk].lanes[0]...)
 			extra = append(extra, frags[blk].lanes[1:]...)
@@ -174,7 +178,7 @@ func (b *builder) primitiveDeep(n *clan.Node) (fragment, bool) {
 // Quotients are tiny (a handful of blocks), so the linear scan is
 // cheaper than maintaining a reverse index.
 func predsOf(blk int, succs [][]int, k int) []int {
-	var out []int
+	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		for _, j := range succs[i] {
 			if j == blk {

@@ -17,8 +17,6 @@
 package dcp
 
 import (
-	"sort"
-
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -230,7 +228,18 @@ func (d *DCP) Schedule(g *dag.Graph) (*sched.Placement, error) {
 		start[pick] = bestStart
 		finish[pick] = bestStart + g.Weight(pick)
 		tl := timelines[bestP]
-		i := sort.Search(len(tl), func(i int) bool { return tl[i].start >= bestStart })
+		// Binary search for the insertion point by hand: a sort.Search
+		// closure here would capture bestStart and allocate on every
+		// scheduling step.
+		i, hi := 0, len(tl)
+		for i < hi {
+			mid := int(uint(i+hi) >> 1)
+			if tl[mid].start >= bestStart {
+				hi = mid
+			} else {
+				i = mid + 1
+			}
+		}
 		tl = append(tl, slot{})
 		copy(tl[i+1:], tl[i:])
 		tl[i] = slot{node: pick, start: bestStart, finish: finish[pick]}

@@ -45,7 +45,7 @@ func (d *DLS) Schedule(g *dag.Graph) (*sched.Placement, error) {
 		return nil, err
 	}
 	missing := make([]int, n)
-	var ready []dag.NodeID
+	ready := make([]dag.NodeID, 0, n)
 	for v := 0; v < n; v++ {
 		missing[v] = g.InDegree(dag.NodeID(v))
 		if missing[v] == 0 {

@@ -108,14 +108,18 @@ func (e *EZ) placement(g *dag.Graph, level []int64, clusters []int) *sched.Place
 	}
 	sort.Ints(roots)
 	pl := sched.NewPlacement(n)
+	// The comparator is hoisted out of the loop (capturing the shared
+	// members variable) so each cluster sort reuses one function value.
+	var members []dag.NodeID
+	byLevel := func(i, j int) bool {
+		if level[members[i]] != level[members[j]] {
+			return level[members[i]] > level[members[j]]
+		}
+		return members[i] < members[j]
+	}
 	for pi, r := range roots {
-		members := byRoot[r]
-		sort.Slice(members, func(i, j int) bool {
-			if level[members[i]] != level[members[j]] {
-				return level[members[i]] > level[members[j]]
-			}
-			return members[i] < members[j]
-		})
+		members = byRoot[r]
+		sort.Slice(members, byLevel)
 		for _, v := range members {
 			pl.Assign(v, pi)
 		}

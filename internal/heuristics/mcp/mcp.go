@@ -21,6 +21,7 @@
 package mcp
 
 import (
+	"slices"
 	"sort"
 
 	"schedcomp/internal/dag"
@@ -166,10 +167,15 @@ func (m *MCP) order(g *dag.Graph) ([]dag.NodeID, error) {
 	}
 	n := g.NumNodes()
 	lists := make([][]int64, n)
+	// One collect closure serves every node; each list is preallocated
+	// from the descendant count and sorted without a comparator closure.
+	var l []int64
+	collect := func(j int) { l = append(l, alap[j]) }
 	for i := 0; i < n; i++ {
-		l := []int64{alap[i]}
-		desc[i].ForEach(func(j int) { l = append(l, alap[j]) })
-		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		l = make([]int64, 0, desc[i].Count()+1)
+		l = append(l, alap[i])
+		desc[i].ForEach(collect)
+		slices.Sort(l)
 		lists[i] = l
 	}
 	order := make([]dag.NodeID, n)

@@ -7,6 +7,7 @@ package schedtest
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"schedcomp/internal/corpus"
@@ -185,6 +186,10 @@ func placementBytes(pl *sched.Placement) string {
 // graph (fresh instances, so no state can leak between runs) and
 // requires byte-identical placements. Any map-iteration or other
 // nondeterminism in a heuristic shows up here as a placement diff.
+// A third run under GOMAXPROCS(1) must also match: a heuristic whose
+// output depends on goroutine interleaving (worker pools, racing
+// channels) diverges between single-threaded and parallel execution
+// even when back-to-back runs in the same environment happen to agree.
 func RequireDeterministic(t *testing.T) {
 	graphs := DeterminismCorpus(t, 20260805)
 	for _, name := range heuristics.Names() {
@@ -204,9 +209,26 @@ func RequireDeterministic(t *testing.T) {
 					t.Fatalf("graph %d (%s): placements differ between runs\n run 1: %s\n run 2: %s",
 						gi, g.Name(), a, b)
 				}
+				single, err := scheduleSingleThreaded(mustNew(t, name), g)
+				if err != nil {
+					t.Fatalf("graph %d (%s) GOMAXPROCS=1 run: %v", gi, g.Name(), err)
+				}
+				if c := placementBytes(single); c != a {
+					t.Fatalf("graph %d (%s): placement depends on GOMAXPROCS\n default: %s\n procs=1: %s",
+						gi, g.Name(), a, c)
+				}
 			}
 		})
 	}
+}
+
+// scheduleSingleThreaded runs one scheduling pass with GOMAXPROCS
+// pinned to 1, restoring the previous value afterwards. Callers must
+// not run in parallel subtests: GOMAXPROCS is process-global.
+func scheduleSingleThreaded(s heuristics.Scheduler, g *dag.Graph) (*sched.Placement, error) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	return s.Schedule(g)
 }
 
 func mustNew(t *testing.T, name string) heuristics.Scheduler {

@@ -6,8 +6,10 @@ package analyzers
 import (
 	"schedcomp/internal/lint"
 	"schedcomp/internal/lint/floatdet"
+	"schedcomp/internal/lint/hotalloc"
 	"schedcomp/internal/lint/mapiter"
 	"schedcomp/internal/lint/panicpolicy"
+	"schedcomp/internal/lint/taintnondet"
 	"schedcomp/internal/lint/tiebreak"
 	"schedcomp/internal/lint/uncheckedschedule"
 )
@@ -16,8 +18,10 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		floatdet.Analyzer,
+		hotalloc.Analyzer,
 		mapiter.Analyzer,
 		panicpolicy.Analyzer,
+		taintnondet.Analyzer,
 		tiebreak.Analyzer,
 		uncheckedschedule.Analyzer,
 	}

@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/hotalloc"
+	"schedcomp/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", hotalloc.Analyzer,
+		"schedcomp/internal/heuristics/hotdemo",
+		"schedcomp/internal/heuristics/hotclean",
+		"schedcomp/internal/heuristics/hotcold",
+		"schedcomp/internal/report/hotscope",
+	)
+}

@@ -1,0 +1,62 @@
+// Package hotclean holds the fixed counterparts of hotdemo; the
+// analyzer must stay silent on every function.
+package hotclean
+
+// Tally hoists the scratch map out of the loop and clears it instead.
+func Tally(xs []int) int {
+	total := 0
+	seen := map[int]bool{}
+	for _, x := range xs {
+		clear(seen)
+		seen[x] = true
+		total += len(seen)
+	}
+	return total
+}
+
+// Ready preallocates with a capacity hint, so the nested-loop appends
+// never reallocate.
+func Ready(deps [][]int, done []bool) int {
+	count := 0
+	for step := 0; step < len(deps); step++ {
+		ready := make([]int, 0, len(deps))
+		for v, ds := range deps {
+			if len(ds) == step && !done[v] {
+				ready = append(ready, v)
+			}
+		}
+		count += len(ready)
+	}
+	return count
+}
+
+// Flat appends at loop depth 1: amortized growth is acceptable there.
+func Flat(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// Static builds a non-capturing literal per iteration, which the
+// compiler lowers to a static function value — no allocation.
+func Static(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		f := func(y int) int { return y * 2 }
+		t += f(x)
+	}
+	return t
+}
+
+// Hoisted allocates everything once, outside the loops.
+func Hoisted(n int) int {
+	buf := make([]int, 0, n)
+	m := map[int]int{}
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+		m[i] = i
+	}
+	return len(buf) + len(m)
+}

@@ -1,0 +1,23 @@
+// Package hotcold exercises both //lint:coldpath suppression forms.
+package hotcold
+
+// Debug is diagnostics-only code; the whole function is waived.
+//
+//lint:coldpath
+func Debug(xs []int) []map[int]int {
+	out := make([]map[int]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, map[int]int{x: x})
+	}
+	return out
+}
+
+// Trace waives a single allocation line.
+func Trace(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		m := map[int]int{x: x} //lint:coldpath
+		t += len(m)
+	}
+	return t
+}

@@ -1,0 +1,64 @@
+// Package hotdemo holds the per-iteration allocation patterns the
+// hotalloc analyzer must flag.
+package hotdemo
+
+// Tally allocates a fresh map every iteration.
+func Tally(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		seen := map[int]bool{} // want `hotalloc: map allocated inside a scheduling loop`
+		seen[x] = true
+		total += len(seen)
+	}
+	return total
+}
+
+// Workers opens a channel per task.
+func Workers(n int) int {
+	done := 0
+	for i := 0; i < n; i++ {
+		ch := make(chan int, 1) // want `hotalloc: channel allocated inside a scheduling loop`
+		ch <- i
+		done += <-ch
+	}
+	return done
+}
+
+// Sums allocates an empty slice literal per row and grows it in the
+// inner loop.
+func Sums(rows [][]int) int {
+	t := 0
+	for _, r := range rows {
+		acc := []int{} // want `hotalloc: empty slice literal allocated inside a scheduling loop`
+		for _, x := range r {
+			acc = append(acc, x) // want `hotalloc: append to acc inside a nested scheduling loop`
+		}
+		t += len(acc)
+	}
+	return t
+}
+
+// Adders builds a capturing closure per element.
+func Adders(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		add := func(y int) int { return x + y } // want `hotalloc: capturing closure allocated inside a scheduling loop`
+		t = add(t)
+	}
+	return t
+}
+
+// Ready regrows an unsized ready list on every outer step.
+func Ready(deps [][]int, done []bool) int {
+	count := 0
+	for step := 0; step < len(deps); step++ {
+		var ready []int
+		for v, ds := range deps {
+			if len(ds) == step && !done[v] {
+				ready = append(ready, v) // want `hotalloc: append to ready inside a nested scheduling loop`
+			}
+		}
+		count += len(ready)
+	}
+	return count
+}

@@ -42,6 +42,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Loader is the loader that produced this package. Whole-program
+	// analyzers (the ssair-based passes) use it to pull in the syntax
+	// and types of the package's module dependencies; intraprocedural
+	// analyzers may ignore it. It is set by cmd/schedlint and linttest
+	// but may be nil for hand-constructed passes.
+	Loader *Loader
 }
 
 // Reportf reports a formatted diagnostic at pos. The message is
@@ -70,24 +77,41 @@ func (p *Pass) FileFor(pos token.Pos) *ast.File {
 // (like //go:build), so gofmt leaves them alone and ast.CommentGroup
 // .Text() stripping does not apply — the raw comment text is matched.
 func (p *Pass) Annotated(pos token.Pos, directive string) bool {
-	f := p.FileFor(pos)
+	return AnnotatedIn(p.Fset, p.FileFor(pos), pos, directive)
+}
+
+// AnnotatedIn is Pass.Annotated for callers that are not running
+// inside a Pass (the ssair taint engine checks suppression comments in
+// packages other than the one under analysis). f is the syntax tree
+// containing pos; a nil f reports false.
+func AnnotatedIn(fset *token.FileSet, f *ast.File, pos token.Pos, directive string) bool {
 	if f == nil {
 		return false
 	}
 	want := "//lint:" + directive
-	line := p.Fset.Position(pos).Line
+	line := fset.Position(pos).Line
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, want) {
 				continue
 			}
-			cl := p.Fset.Position(c.Pos()).Line
+			cl := fset.Position(c.Pos()).Line
 			if cl == line || cl == line-1 {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// FileIn returns the syntax tree of pkg containing pos, or nil.
+func FileIn(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
 }
 
 // CalleeFunc resolves the function or method called by call, or nil if

@@ -87,6 +87,7 @@ func runOne(t *testing.T, loader *lint.Loader, a *lint.Analyzer, path string) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+		Loader:    loader,
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)

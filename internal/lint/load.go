@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -30,15 +32,64 @@ type Package struct {
 // finally the standard library via go/importer's source importer.
 //
 // Loading is deterministic: files are parsed in sorted name order and
-// packages are returned in sorted path order.
+// packages are returned in sorted path order. Files excluded by build
+// constraints (and files named with a leading "_" or ".") are skipped,
+// matching the go tool.
+//
+// By default every Loader shares one process-wide FileSet, standard
+// library importer and module-package cache, so the expensive
+// source-based type-check of the stdlib (and of module packages that
+// many analyzers depend on) happens once per process rather than once
+// per Loader. A cmd/schedlint run or a linttest suite constructs many
+// loaders; all of them reuse the same checked packages. The shared
+// cache assumes SrcRoots never shadow a real module package, which
+// holds for all linttest testdata layouts. Loaders are not safe for
+// concurrent use.
 type Loader struct {
 	Fset       *token.FileSet
 	ModuleRoot string
 	ModulePath string
 	SrcRoots   []string
 
-	std   types.Importer
-	cache map[string]*Package
+	std      types.Importer
+	cache    map[string]*Package
+	isolated bool
+}
+
+// shared is the process-wide cache reused by every non-isolated
+// Loader: one FileSet (so positions from shared packages stay valid in
+// every loader), one source importer for the standard library, and the
+// type-checked module packages keyed by module root + import path.
+var shared = struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	std  types.Importer
+	mod  map[string]*Package
+}{
+	fset: token.NewFileSet(),
+	mod:  map[string]*Package{},
+}
+
+func sharedStd() types.Importer {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if shared.std == nil {
+		shared.std = importer.ForCompiler(shared.fset, "source", nil)
+	}
+	return shared.std
+}
+
+func sharedModGet(root, path string) (*Package, bool) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	p, ok := shared.mod[root+"\x00"+path]
+	return p, ok
+}
+
+func sharedModPut(root, path string, p *Package) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	shared.mod[root+"\x00"+path] = p
 }
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.
@@ -59,8 +110,34 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
-// NewLoader returns a loader rooted at the module containing dir.
+// NewLoader returns a loader rooted at the module containing dir,
+// sharing the process-wide stdlib and module-package caches.
 func NewLoader(dir string) (*Loader, error) {
+	l, err := newLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.Fset = shared.fset
+	l.std = sharedStd()
+	return l, nil
+}
+
+// NewIsolatedLoader returns a loader with a private FileSet, stdlib
+// importer and cache, bypassing the shared caches entirely. It exists
+// so tests and benchmarks can measure (or force) cold loads; regular
+// callers want NewLoader.
+func NewIsolatedLoader(dir string) (*Loader, error) {
+	l, err := newLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.isolated = true
+	l.Fset = token.NewFileSet()
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l, nil
+}
+
+func newLoader(dir string) (*Loader, error) {
 	root, err := FindModuleRoot(dir)
 	if err != nil {
 		return nil, err
@@ -69,14 +146,11 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Loader{
-		Fset:       token.NewFileSet(),
+	return &Loader{
 		ModuleRoot: root,
 		ModulePath: modPath,
 		cache:      map[string]*Package{},
-	}
-	l.std = importer.ForCompiler(l.Fset, "source", nil)
-	return l, nil
+	}, nil
 }
 
 func modulePath(gomod string) (string, error) {
@@ -109,6 +183,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
+// Resolvable reports whether path is resolved from source by this
+// loader (a module or SrcRoots package) rather than delegated to the
+// standard library importer. Analyzers that need function bodies (the
+// ssair program builder) use it to decide which imports to pull in.
+func (l *Loader) Resolvable(path string) bool {
+	return l.resolveDir(path) != ""
+}
+
 // resolveDir maps an import path to a source directory, or "" when the
 // path belongs to the standard library.
 func (l *Loader) resolveDir(path string) string {
@@ -130,17 +212,33 @@ func (l *Loader) resolveDir(path string) string {
 	return ""
 }
 
-func hasGoFiles(dir string) bool {
+// goFilesIn lists the compilable Go files of dir in sorted order:
+// non-test .go files that are not excluded by build constraints and do
+// not carry the go tool's "_"/"." ignore prefixes.
+func goFilesIn(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return false
+		return nil
 	}
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
-			return true
+	var out []string
+	for _, e := range entries { // ReadDir sorts by name: deterministic
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
 		}
+		if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		out = append(out, name)
 	}
-	return false
+	return out
+}
+
+func hasGoFiles(dir string) bool {
+	return len(goFilesIn(dir)) > 0
 }
 
 // LoadPath loads and type-checks a single package by import path.
@@ -155,25 +253,33 @@ func (l *Loader) LoadPath(path string) (*Package, error) {
 	return l.load(path, dir)
 }
 
+// fromModule reports whether dir lies under the module root rather
+// than under a SrcRoots testdata tree; only such packages go through
+// the shared cross-loader cache.
+func (l *Loader) fromModule(dir string) bool {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	return err == nil && !strings.HasPrefix(rel, "..")
+}
+
 func (l *Loader) load(path, dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
+	shareable := !l.isolated && l.fromModule(dir)
+	if shareable {
+		if p, ok := sharedModGet(l.ModuleRoot, path); ok {
+			l.cache[path] = p
+			return p, nil
+		}
+	}
+	names := goFilesIn(dir)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	var files []*ast.File
-	for _, e := range entries { // ReadDir sorts by name: deterministic
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
+	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
 		}
 		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -189,6 +295,9 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, TypesInfo: info}
 	l.cache[path] = p
+	if shareable {
+		sharedModPut(l.ModuleRoot, path, p)
+	}
 	return p, nil
 }
 

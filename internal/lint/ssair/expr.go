@@ -1,0 +1,378 @@
+package ssair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"schedcomp/internal/lint"
+)
+
+// expr lowers an expression to a Value. Expression lowering never
+// changes the current block: short-circuit operators are modeled as
+// plain binary operations (their taint behavior is identical and the
+// CFG stays small).
+func (b *builder) expr(e ast.Expr) *Value {
+	if e == nil {
+		return b.emit(OpConst, nil, token.NoPos)
+	}
+	if tv, ok := b.info.Types[e]; ok && tv.Value != nil {
+		// Constant-folded subtree: no dataflow inside it matters.
+		return b.emit(OpConst, tv.Type, e.Pos())
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return b.expr(x.X)
+
+	case *ast.Ident:
+		obj := b.info.Uses[x]
+		if obj == nil {
+			obj = b.info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if isPkgLevel(v) {
+				g := b.emit(OpGlobal, v.Type(), x.Pos())
+				g.Var = v
+				return g
+			}
+			return b.readVar(v, b.block())
+		}
+		// Named constant, func reference, nil, type name.
+		return b.emit(OpConst, b.typeOf(x), x.Pos())
+
+	case *ast.BasicLit:
+		return b.emit(OpConst, b.typeOf(x), x.Pos())
+
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.ARROW:
+			v := b.emit(OpRecv, b.typeOf(x), x.Pos(), b.expr(x.X))
+			if b.selectN > 0 {
+				v.Aux, v.AuxInt = "select", b.selectN
+			}
+			return v
+		case token.AND:
+			return b.emit(OpAddr, b.typeOf(x), x.Pos(), b.expr(x.X))
+		default:
+			v := b.emit(OpUnOp, b.typeOf(x), x.Pos(), b.expr(x.X))
+			v.Aux = x.Op.String()
+			return v
+		}
+
+	case *ast.BinaryExpr:
+		v := b.emit(OpBinOp, b.typeOf(x), x.Pos(), b.expr(x.X), b.expr(x.Y))
+		v.Aux = x.Op.String()
+		return v
+
+	case *ast.StarExpr:
+		return b.emit(OpDeref, b.typeOf(x), x.Pos(), b.expr(x.X))
+
+	case *ast.SelectorExpr:
+		if sel := b.info.Selections[x]; sel != nil {
+			v := b.emit(OpField, b.typeOf(x), x.Pos(), b.expr(x.X))
+			v.Aux = x.Sel.Name
+			return v
+		}
+		// Qualified identifier pkg.X.
+		if v, ok := b.info.Uses[x.Sel].(*types.Var); ok {
+			g := b.emit(OpGlobal, v.Type(), x.Pos())
+			g.Var = v
+			return g
+		}
+		return b.emit(OpConst, b.typeOf(x), x.Pos())
+
+	case *ast.IndexExpr:
+		if tv, ok := b.info.Types[x.Index]; ok && tv.IsType() {
+			// Generic instantiation f[T]: the index carries no data.
+			return b.expr(x.X)
+		}
+		return b.emit(OpIndex, b.typeOf(x), x.Pos(), b.expr(x.X), b.expr(x.Index))
+
+	case *ast.IndexListExpr:
+		return b.expr(x.X)
+
+	case *ast.SliceExpr:
+		args := []*Value{b.expr(x.X)}
+		for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+			if idx != nil {
+				args = append(args, b.expr(idx))
+			}
+		}
+		return b.emit(OpSliceExpr, b.typeOf(x), x.Pos(), args...)
+
+	case *ast.TypeAssertExpr:
+		return b.emit(OpTypeAssert, b.typeOf(x), x.Pos(), b.expr(x.X))
+
+	case *ast.CompositeLit:
+		return b.compositeLit(x)
+
+	case *ast.FuncLit:
+		return b.funcLit(x)
+
+	case *ast.CallExpr:
+		return b.call(x)
+
+	case *ast.KeyValueExpr:
+		// Only reachable for malformed input; evaluate both sides.
+		return b.emit(OpConst, nil, x.Pos(), b.expr(x.Key), b.expr(x.Value))
+
+	case *ast.ArrayType, *ast.StructType, *ast.MapType, *ast.ChanType,
+		*ast.InterfaceType, *ast.FuncType, *ast.Ellipsis:
+		return b.emit(OpConst, b.typeOf(e), e.Pos())
+	}
+	b.fn.Approx = true
+	return b.emit(OpConst, b.typeOf(e), e.Pos())
+}
+
+func (b *builder) compositeLit(x *ast.CompositeLit) *Value {
+	t := b.typeOf(x)
+	var u types.Type
+	if t != nil {
+		u = t.Underlying()
+	}
+	var args []*Value
+	elem := func(e ast.Expr, withKey bool) {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if withKey {
+				args = append(args, b.expr(kv.Key))
+			}
+			args = append(args, b.expr(kv.Value))
+			return
+		}
+		args = append(args, b.expr(e))
+	}
+	switch u.(type) {
+	case *types.Map:
+		for _, e := range x.Elts {
+			elem(e, true)
+		}
+		v := b.emit(OpMakeMap, t, x.Pos(), args...)
+		v.Aux = "lit"
+		return v
+	case *types.Slice, *types.Array:
+		for _, e := range x.Elts {
+			elem(e, false) // index keys carry no data worth tracking
+		}
+		v := b.emit(OpMakeSlice, t, x.Pos(), args...)
+		v.Aux = "lit"
+		if len(x.Elts) > 0 {
+			v.AuxInt = 1
+		}
+		return v
+	default:
+		for _, e := range x.Elts {
+			elem(e, false) // struct field names carry no data
+		}
+		return b.emit(OpComposite, t, x.Pos(), args...)
+	}
+}
+
+func (b *builder) funcLit(x *ast.FuncLit) *Value {
+	sig, _ := b.typeOf(x).(*types.Signature)
+	nf := &Func{
+		Name:   b.fn.Name + "·func",
+		Pkg:    b.fn.Pkg,
+		Sig:    sig,
+		Parent: b.fn,
+		decl:   x,
+		writes: map[*types.Var][]*Value{},
+	}
+	b.prog.All = append(b.prog.All, nf)
+	nb := &builder{prog: b.prog, pkg: b.pkg, info: b.info, fn: nf}
+	nb.buildBody(x.Type, x.Body, sig)
+	cl := b.emit(OpClosure, b.typeOf(x), x.Pos())
+	cl.Closure = nf
+	return cl
+}
+
+func (b *builder) call(x *ast.CallExpr) *Value {
+	if tv, ok := b.info.Types[x.Fun]; ok && tv.IsType() {
+		var arg *Value
+		if len(x.Args) > 0 {
+			arg = b.expr(x.Args[0])
+		} else {
+			arg = b.emit(OpConst, nil, x.Pos())
+		}
+		return b.emit(OpConvert, b.typeOf(x), x.Pos(), arg)
+	}
+	if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+		if bi, ok := b.info.Uses[id].(*types.Builtin); ok {
+			return b.builtin(bi.Name(), x)
+		}
+	}
+
+	callee := lint.CalleeFunc(b.info, x)
+	var args []*Value
+	var argExprs []ast.Expr
+	if callee != nil {
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if s := b.info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				args = append(args, b.expr(sel.X))
+				argExprs = append(argExprs, sel.X)
+			}
+		}
+	} else {
+		// Dynamic call: the callee value itself is Args[0].
+		args = append(args, b.expr(x.Fun))
+		argExprs = append(argExprs, nil)
+	}
+	for _, a := range x.Args {
+		args = append(args, b.expr(a))
+		argExprs = append(argExprs, a)
+	}
+	call := b.emit(OpCall, b.typeOf(x), x.Pos(), args...)
+	call.Callee = callee
+	b.emitMutates(call, callee, argExprs)
+	return call
+}
+
+// emitMutates records that a call may have written through each
+// reference-like argument: each such root variable gets a new OpMutate
+// version linked to the call and the callee parameter position, so the
+// taint engine can apply the callee's store summary at the call site.
+func (b *builder) emitMutates(call *Value, callee *types.Func, argExprs []ast.Expr) {
+	for i, ae := range argExprs {
+		if ae == nil {
+			continue // dynamic callee value
+		}
+		if !refLike(b.typeOf(ae)) {
+			continue
+		}
+		root := b.rootVar(ae)
+		if root == nil {
+			continue
+		}
+		var old *Value
+		if isPkgLevel(root) {
+			old = b.emit(OpGlobal, root.Type(), ae.Pos())
+			old.Var = root
+		} else {
+			old = b.readVar(root, b.block())
+		}
+		mu := b.emit(OpMutate, root.Type(), ae.Pos(), old)
+		mu.Call = call
+		mu.Var = root
+		mu.ArgIndex = paramIndexFor(callee, i)
+		b.writeVar(root, mu)
+	}
+}
+
+// paramIndexFor maps the i-th call argument (receiver-inclusive for
+// method calls) to the callee parameter position, clamping variadic
+// overflow; -1 when the callee is unknown.
+func paramIndexFor(callee *types.Func, i int) int {
+	if callee == nil {
+		return -1
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return -1
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// refLike reports whether values of type t can alias memory the callee
+// might mutate. Unknown types are conservatively reference-like.
+func refLike(t types.Type) bool {
+	return refLikeDepth(t, 0)
+}
+
+func refLikeDepth(t types.Type, depth int) bool {
+	if t == nil {
+		return true
+	}
+	if depth > 3 {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Interface, *types.Signature:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refLikeDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return refLikeDepth(u.Elem(), depth+1)
+	case *types.TypeParam:
+		return true
+	}
+	return false
+}
+
+func (b *builder) builtin(name string, x *ast.CallExpr) *Value {
+	pos := x.Pos()
+	switch name {
+	case "append":
+		var args []*Value
+		for _, a := range x.Args {
+			args = append(args, b.expr(a))
+		}
+		v := b.emit(OpAppend, b.typeOf(x), pos, args...)
+		v.Aux = lint.ExprString(x.Args[0])
+		return v
+	case "len", "cap":
+		v := b.emit(OpUnOp, b.typeOf(x), pos, b.expr(x.Args[0]))
+		v.Aux = name
+		return v
+	case "make":
+		t := b.typeOf(x)
+		var sizes []*Value
+		for _, a := range x.Args[1:] {
+			sizes = append(sizes, b.expr(a))
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			v := b.emit(OpMakeMap, t, pos, sizes...)
+			v.Aux = "make"
+			return v
+		case *types.Chan:
+			return b.emit(OpMakeChan, t, pos, sizes...)
+		default:
+			v := b.emit(OpMakeSlice, t, pos, sizes...)
+			v.Aux = "make"
+			v.AuxInt = int64(len(sizes))
+			return v
+		}
+	case "new":
+		v := b.emit(OpComposite, b.typeOf(x), pos)
+		v.Aux = "new"
+		return v
+	case "copy":
+		dst := b.expr(x.Args[0])
+		src := b.expr(x.Args[1])
+		if root := b.rootVar(x.Args[0]); root != nil {
+			st := b.emit(OpStore, b.typeOf(x.Args[0]), pos, dst, src)
+			st.Var = root
+			b.writeVar(root, st)
+		}
+		return b.emit(OpConst, b.typeOf(x), pos)
+	case "min", "max", "complex", "real", "imag":
+		var args []*Value
+		for _, a := range x.Args {
+			args = append(args, b.expr(a))
+		}
+		v := b.emit(OpBinOp, b.typeOf(x), pos, args...)
+		v.Aux = name
+		return v
+	default:
+		// delete, clear, close, panic, print, println, recover, ...
+		for _, a := range x.Args {
+			b.expr(a)
+		}
+		return b.emit(OpConst, b.typeOf(x), pos)
+	}
+}

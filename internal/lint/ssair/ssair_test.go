@@ -1,0 +1,193 @@
+package ssair_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/ssair"
+)
+
+// loadProgram builds a fresh Program over the ssairtest testdata
+// package using its own loader (so the per-loader cache starts cold).
+func loadProgram(t *testing.T) *ssair.Program {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SrcRoots = []string{src}
+	pkg, err := loader.LoadPath("ssairtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &lint.Pass{
+		Analyzer:  &lint.Analyzer{Name: "ssairtest"},
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Loader:    loader,
+		Report:    func(lint.Diagnostic) {},
+	}
+	prog, err := ssair.For(pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func findFunc(t *testing.T, prog *ssair.Program, name string) *ssair.Func {
+	t.Helper()
+	for _, fn := range prog.All {
+		if fn.Name == name || strings.HasSuffix(fn.Name, "."+name) {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func TestLoopPhiAndDepth(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "Sum")
+	var phiAt1, addAt1 bool
+	for _, v := range fn.Values {
+		if v.Op == ssair.OpPhi && v.LoopDepth == 1 {
+			phiAt1 = true
+		}
+		if v.Op == ssair.OpBinOp && v.Aux == "+=" && v.LoopDepth == 1 {
+			addAt1 = true
+		}
+	}
+	if !phiAt1 {
+		t.Error("expected a loop-header phi at depth 1 for the accumulator")
+	}
+	if !addAt1 {
+		t.Error("expected the += to be recorded at loop depth 1")
+	}
+}
+
+func TestMergePhiCarriesCondition(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "Pick")
+	found := false
+	for _, v := range fn.Values {
+		if v.Op != ssair.OpPhi || len(v.Ctrl) == 0 {
+			continue
+		}
+		for _, c := range v.Ctrl {
+			if c.Op == ssair.OpParam {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("merge phi should carry the branch condition (the bool param) as control dependence")
+	}
+}
+
+func TestClosureCapturePatched(t *testing.T) {
+	prog := loadProgram(t)
+	var closure *ssair.Func
+	for _, fn := range prog.All {
+		if fn.Parent != nil && strings.Contains(fn.Parent.Name, "Counter") {
+			closure = fn
+		}
+	}
+	if closure == nil {
+		t.Fatal("closure of Counter not built")
+	}
+	if !closure.HasFreeVars() {
+		t.Fatal("closure should capture n")
+	}
+	patched := false
+	for _, v := range closure.Values {
+		if v.Op == ssair.OpFreeVar && len(v.Args) > 0 {
+			patched = true
+		}
+	}
+	if !patched {
+		t.Error("free-variable read should be patched to the defining function's writes")
+	}
+}
+
+func TestNestedLoopDepth(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "Nested")
+	deepAppend := false
+	for _, v := range fn.Values {
+		if v.Op == ssair.OpAppend && v.LoopDepth == 2 {
+			deepAppend = true
+		}
+	}
+	if !deepAppend {
+		t.Error("inner append should sit at loop depth 2")
+	}
+}
+
+func TestNoApproxFallbacks(t *testing.T) {
+	prog := loadProgram(t)
+	for _, fn := range prog.All {
+		if fn.Approx {
+			t.Errorf("%s built approximately; every statement form in ssairtest should be modeled", fn.Name)
+		}
+	}
+}
+
+func TestSourcesAndSuppression(t *testing.T) {
+	prog := loadProgram(t)
+	res := prog.Taint()
+	var open, suppressed bool
+	for _, s := range res.Sources {
+		if s.Kind != ssair.KindMapIter {
+			continue
+		}
+		name := s.Fn.Name
+		switch {
+		case strings.Contains(name, "KeysOf"):
+			if !s.Suppressed {
+				open = true
+			}
+		case strings.Contains(name, "SizeOf"):
+			if s.Suppressed {
+				suppressed = true
+			}
+		}
+	}
+	if !open {
+		t.Error("KeysOf map range should be an active map-iteration source")
+	}
+	if !suppressed {
+		t.Error("SizeOf map range should be suppressed by //lint:sorted")
+	}
+	// No scheduling sinks exist in this package, so no flows either.
+	if len(res.Flows) != 0 {
+		t.Errorf("expected no flows, got %d", len(res.Flows))
+	}
+}
+
+// TestDeterministicRebuild builds the same package through two
+// independent loaders and requires identical SSA shapes — the property
+// every schedlint analyzer output depends on.
+func TestDeterministicRebuild(t *testing.T) {
+	a, b := loadProgram(t), loadProgram(t)
+	if len(a.All) != len(b.All) {
+		t.Fatalf("function count differs: %d vs %d", len(a.All), len(b.All))
+	}
+	for i := range a.All {
+		fa, fb := a.All[i], b.All[i]
+		if fa.Name != fb.Name || len(fa.Values) != len(fb.Values) || len(fa.Blocks) != len(fb.Blocks) {
+			t.Fatalf("function %d differs: %s/%d/%d vs %s/%d/%d",
+				i, fa.Name, len(fa.Values), len(fa.Blocks), fb.Name, len(fb.Values), len(fb.Blocks))
+		}
+		for j := range fa.Values {
+			va, vb := fa.Values[j], fb.Values[j]
+			if va.Op != vb.Op || va.LoopDepth != vb.LoopDepth || len(va.Args) != len(vb.Args) {
+				t.Fatalf("%s value %d differs: %v vs %v", fa.Name, j, va, vb)
+			}
+		}
+	}
+}

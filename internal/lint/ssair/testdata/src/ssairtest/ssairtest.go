@@ -1,0 +1,98 @@
+// Package ssairtest holds small functions whose SSA shape the ssair
+// builder tests pin down.
+package ssairtest
+
+// Sum has a loop-carried accumulator: s must become a phi in the
+// loop header, and the addition must record loop depth 1.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Pick merges two versions of v under condition c: the merge phi must
+// carry c as a control dependence.
+func Pick(c bool) int {
+	v := 1
+	if c {
+		v = 2
+	}
+	return v
+}
+
+// Counter returns a closure capturing n: the literal must become a
+// child Func with a patched free-variable read.
+func Counter() func() int {
+	n := 0
+	return func() int {
+		n++
+		return n
+	}
+}
+
+// KeysOf ranges over a map: the range key is a nondeterminism source.
+func KeysOf(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SizeOf ranges over a map but only counts, order-independently, and
+// says so: the source must be marked suppressed.
+func SizeOf(m map[int]string) int {
+	n := 0
+	for range m { //lint:sorted
+		n++
+	}
+	return n
+}
+
+// Nested pins loop-depth accounting: the inner append sits at depth 2.
+func Nested(rows [][]int) int {
+	t := 0
+	for _, r := range rows {
+		var acc []int
+		for _, x := range r {
+			acc = append(acc, x)
+		}
+		t += len(acc)
+	}
+	return t
+}
+
+// Spin exercises the statements the builder must not choke on:
+// labeled loops, switch with fallthrough, select, type switch, defer.
+func Spin(ch chan int, xs []int) int {
+	t := 0
+	defer func() { t = 0 }()
+outer:
+	for i := 0; i < len(xs); i++ {
+		switch xs[i] {
+		case 0:
+			continue outer
+		case 1:
+			t++
+			fallthrough
+		case 2:
+			t += 2
+		default:
+			break outer
+		}
+	}
+	select {
+	case v := <-ch:
+		t += v
+	default:
+	}
+	var any interface{} = t
+	switch w := any.(type) {
+	case int:
+		t += w
+	default:
+	}
+	return t
+}

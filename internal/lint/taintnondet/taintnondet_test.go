@@ -1,0 +1,62 @@
+package taintnondet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/mapiter"
+	"schedcomp/internal/lint/taintnondet"
+)
+
+func TestTaintNondet(t *testing.T) {
+	linttest.Run(t, "testdata", taintnondet.Analyzer,
+		"schedcomp/internal/taintdemo/flagged",
+		"schedcomp/internal/taintdemo/inter",
+		"schedcomp/internal/taintdemo/clean",
+		"schedcomp/internal/taintdemo/suppressed",
+	)
+}
+
+// TestMapiterCannotSeeInterproceduralFlow pins the claim that the
+// inter-package flow flagged above is invisible to PR 1's syntactic
+// mapiter pass: the map loop lives in a helper outside mapiter's
+// scoped paths, and the scheduling package contains no map range at
+// all, so mapiter reports nothing on either side.
+func TestMapiterCannotSeeInterproceduralFlow(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SrcRoots = []string{src}
+	for _, path := range []string{
+		"schedcomp/internal/taintdemo/keys",
+		"schedcomp/internal/taintdemo/inter",
+	} {
+		pkg, err := loader.LoadPath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var diags []lint.Diagnostic
+		pass := &lint.Pass{
+			Analyzer:  mapiter.Analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Loader:    loader,
+			Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := mapiter.Analyzer.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("mapiter unexpectedly reported on %s: %s", path, d.Message)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package inter is the acceptance case for the interprocedural
+// engine: the map iteration happens in another package (keys), and the
+// nondeterministic ordering reaches the Placement only through the
+// helper's return value. The syntactic mapiter analyzer reports
+// nothing on either package (see TestMapiterCannotSeeInterproceduralFlow).
+package inter
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/taintdemo/keys"
+)
+
+// Build places nodes in helper-returned (map-ordered) sequence.
+func Build(weight map[dag.NodeID]int) *sched.Placement {
+	pl := sched.NewPlacement(len(weight))
+	p := 0
+	for _, v := range keys.Keys(weight) {
+		pl.Assign(v, p%2) // want `taintnondet: sched.Placement.Assign receives a value tainted by map iteration order \(keys\.go:\d+\)`
+		p++
+	}
+	return pl
+}
+
+// place is a same-package wrapper: the sink sits inside the helper,
+// and the tainted value arrives through its parameter.
+func place(pl *sched.Placement, v dag.NodeID, p int) {
+	pl.Assign(v, p) // want `taintnondet: sched.Placement.Assign receives a value tainted by map iteration order`
+}
+
+// BuildWrapped reaches Assign only through the place wrapper above.
+func BuildWrapped(weight map[dag.NodeID]int) *sched.Placement {
+	pl := sched.NewPlacement(len(weight))
+	p := 0
+	for _, v := range keys.Keys(weight) {
+		place(pl, v, p%2)
+		p++
+	}
+	return pl
+}

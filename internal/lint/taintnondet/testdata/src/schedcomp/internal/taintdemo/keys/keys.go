@@ -1,0 +1,18 @@
+// Package keys is a helper deliberately placed outside every
+// mapiter-scoped path (internal/heuristics, internal/clan,
+// internal/gen): its map loop is invisible to the syntactic analyzer,
+// and only the interprocedural taint pass can connect it to the
+// Placement built by its importer.
+package keys
+
+import "schedcomp/internal/dag"
+
+// Keys returns the node keys of m in map-iteration (nondeterministic)
+// order.
+func Keys(m map[dag.NodeID]int) []dag.NodeID {
+	out := make([]dag.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

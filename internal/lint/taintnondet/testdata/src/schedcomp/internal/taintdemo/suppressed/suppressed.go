@@ -1,0 +1,23 @@
+// Package suppressed exercises the //lint:sorted escape hatch: the
+// map loop's result is order-independent, the author says so at the
+// source, and no flow may be reported downstream of it.
+package suppressed
+
+import (
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+// CountHeavy counts heavy nodes — a fold that is independent of
+// iteration order — and routes the count into the placement.
+func CountHeavy(weight map[dag.NodeID]int) *sched.Placement {
+	pl := sched.NewPlacement(len(weight))
+	n := 0
+	for _, w := range weight { //lint:sorted
+		if w > 10 {
+			n++
+		}
+	}
+	pl.Assign(0, n%2)
+	return pl
+}
