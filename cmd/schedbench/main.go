@@ -8,32 +8,86 @@
 //
 // With the defaults it reproduces the paper-scale experiment: 60
 // classes × 35 graphs = 2100 PDGs of 40–120 nodes.
+//
+// Performance tracking:
+//
+//	schedbench -bench [-benchout FILE] [-golden FILE] [-writegolden FILE]
+//	schedbench -cpuprofile cpu.out -memprofile mem.out
+//
+// -bench replaces the report with a perf run: every registered
+// heuristic is timed single-threaded over the corpus and the result
+// (ns/graph, allocs/graph, graphs/sec, an FNV-1a hash of every
+// schedule produced) is written as JSON. -golden compares the hashes
+// against a committed baseline and exits non-zero on any divergence,
+// which is how CI catches unintended behavioural changes riding along
+// with performance work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"schedcomp"
 	"schedcomp/internal/report"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		seed       = flag.Int64("seed", 1994, "corpus random seed")
-		graphs     = flag.Int("graphs", 35, "graphs per class (paper: 35)")
-		minN       = flag.Int("min", 40, "minimum graph size in nodes")
-		maxN       = flag.Int("max", 120, "maximum graph size in nodes")
-		figures    = flag.Bool("figures", true, "render Figures 1-6 as text charts")
-		table1     = flag.Bool("table1", false, "print the 60-row corpus composition (Table 1)")
-		extensions = flag.Bool("extensions", false, "also run the extension experiments (optimality gap, wider weight ranges, duplication, metric comparison, extended comparison)")
-		saveDir    = flag.String("save", "", "save the generated corpus to this directory")
-		loadDir    = flag.String("load", "", "load a previously saved corpus instead of generating")
-		markdown   = flag.String("markdown", "", "also write the full report as markdown to this file")
+		seed        = flag.Int64("seed", 1994, "corpus random seed")
+		graphs      = flag.Int("graphs", 35, "graphs per class (paper: 35)")
+		minN        = flag.Int("min", 40, "minimum graph size in nodes")
+		maxN        = flag.Int("max", 120, "maximum graph size in nodes")
+		figures     = flag.Bool("figures", true, "render Figures 1-6 as text charts")
+		table1      = flag.Bool("table1", false, "print the 60-row corpus composition (Table 1)")
+		extensions  = flag.Bool("extensions", false, "also run the extension experiments (optimality gap, wider weight ranges, duplication, metric comparison, extended comparison)")
+		saveDir     = flag.String("save", "", "save the generated corpus to this directory")
+		loadDir     = flag.String("load", "", "load a previously saved corpus instead of generating")
+		markdown    = flag.String("markdown", "", "also write the full report as markdown to this file")
+		bench       = flag.Bool("bench", false, "run the perf benchmark over all registered heuristics instead of the report")
+		benchOut    = flag.String("benchout", "BENCH_schedbench.json", "write the -bench result to this file")
+		benchNote   = flag.String("benchnote", "", "free-form note recorded in the -bench result")
+		golden      = flag.String("golden", "", "compare -bench schedule hashes against this golden file; exit non-zero on divergence")
+		writeGolden = flag.String("writegolden", "", "also write the -bench result to this golden file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var c *schedcomp.Corpus
 	var err error
@@ -43,7 +97,7 @@ func main() {
 		c, err = schedcomp.LoadCorpus(*loadDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "corpus load failed:", err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		spec := schedcomp.PaperCorpusSpec(*seed)
@@ -55,14 +109,15 @@ func main() {
 		c, err = schedcomp.GenerateCorpus(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "corpus generation failed:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	fmt.Printf("corpus ready: %d graphs in %v\n", c.NumGraphs(), time.Since(start).Round(time.Millisecond))
+	corpusGen := time.Since(start)
+	fmt.Printf("corpus ready: %d graphs in %v\n", c.NumGraphs(), corpusGen.Round(time.Millisecond))
 	if *saveDir != "" {
 		if err := c.Save(*saveDir); err != nil {
 			fmt.Fprintln(os.Stderr, "corpus save failed:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("saved corpus to %s\n", *saveDir)
 	}
@@ -72,12 +127,16 @@ func main() {
 		fmt.Println(schedcomp.CorpusTable(c))
 	}
 
+	if *bench {
+		return runBenchMode(c, corpusGen, *benchNote, *benchOut, *golden, *writeGolden)
+	}
+
 	start = time.Now()
 	fmt.Println("evaluating CLANS, DSC, MCP, MH, HU on every graph...")
 	ev, err := schedcomp.Evaluate(c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluation failed:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("evaluated %d schedules in %v\n\n", 5*c.NumGraphs(), time.Since(start).Round(time.Millisecond))
 
@@ -94,7 +153,7 @@ func main() {
 		f, err := os.Create(*markdown)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		err = report.Write(f, c, ev, report.Options{
 			Extensions:    *extensions,
@@ -106,7 +165,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "markdown report failed:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote markdown report to %s\n", *markdown)
 	}
@@ -129,9 +188,52 @@ func main() {
 			t, err := e.run()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(t)
 		}
 	}
+	return 0
+}
+
+// runBenchMode times every registered heuristic over the corpus,
+// writes the JSON result, and optionally checks it against a golden.
+func runBenchMode(c *schedcomp.Corpus, corpusGen time.Duration, note, out, golden, writeGolden string) int {
+	fmt.Println("benchmarking all registered heuristics (single-threaded)...")
+	res, err := runBench(c, corpusGen, note)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench failed:", err)
+		return 1
+	}
+	for _, h := range res.Heuristics {
+		fmt.Printf("  %-7s %12d ns/graph %8d allocs/graph %10.1f graphs/sec  %s\n",
+			h.Name, h.NsPerGraph, h.AllocsPerGraph, h.GraphsPerSec, h.ScheduleHash)
+	}
+	fmt.Printf("total: %d graphs, gen %dms + eval %dms = %dms (%.1f graphs/sec)\n",
+		res.Graphs, res.CorpusGenMs, res.EvalMs, res.TotalMs, res.GraphsPerSec)
+	if err := writeBench(out, res); err != nil {
+		fmt.Fprintln(os.Stderr, "bench write failed:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", out)
+	if writeGolden != "" {
+		if err := writeBench(writeGolden, res); err != nil {
+			fmt.Fprintln(os.Stderr, "golden write failed:", err)
+			return 1
+		}
+		fmt.Printf("wrote golden %s\n", writeGolden)
+	}
+	if golden != "" {
+		g, err := loadBench(golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "golden load failed:", err)
+			return 1
+		}
+		if err := compareGolden(res, g); err != nil {
+			fmt.Fprintln(os.Stderr, "GOLDEN MISMATCH:", err)
+			return 1
+		}
+		fmt.Printf("schedule hashes match golden %s\n", golden)
+	}
+	return 0
 }

@@ -119,6 +119,12 @@ func (s *Set) Equal(t *Set) bool {
 	return true
 }
 
+// CopyFrom overwrites s with the contents of t.
+func (s *Set) CopyFrom(t *Set) {
+	s.compat(t)
+	copy(s.words, t.words)
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	c := &Set{n: s.n, words: make([]uint64, len(s.words))}

@@ -100,6 +100,10 @@ func Parse(g *dag.Graph) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	anc, err := g.Ancestors()
+	if err != nil {
+		return nil, err
+	}
 	t := &Tree{Graph: g}
 	n := g.NumNodes()
 	if n == 0 {
@@ -109,17 +113,23 @@ func Parse(g *dag.Graph) (*Tree, error) {
 	for i := range members {
 		members[i] = dag.NodeID(i)
 	}
-	p := &parser{desc: desc}
+	p := &parser{
+		desc:      desc,
+		anc:       anc,
+		unvisited: bitset.New(n),
+		tmp:       bitset.New(n),
+	}
 	t.Root = p.decompose(members)
 	return t, nil
 }
 
 type parser struct {
 	desc []*bitset.Set
-}
-
-func (p *parser) comparable(u, v dag.NodeID) bool {
-	return p.desc[u].Contains(int(v)) || p.desc[v].Contains(int(u))
+	anc  []*bitset.Set
+	// Scratch reused across the single-threaded recursion.
+	unvisited *bitset.Set
+	tmp       *bitset.Set
+	stack     []dag.NodeID
 }
 
 // before reports whether u is an ancestor of v.
@@ -133,7 +143,7 @@ func (p *parser) decompose(members []dag.NodeID) *Node {
 	}
 
 	// Independent split: components of the comparability graph.
-	if comps := components(members, p.comparable); len(comps) > 1 {
+	if comps := p.components(members, false); len(comps) > 1 {
 		node := &Node{Kind: Independent, Members: members}
 		for _, c := range comps {
 			node.Children = append(node.Children, p.decompose(c))
@@ -143,8 +153,7 @@ func (p *parser) decompose(members []dag.NodeID) *Node {
 
 	// Linear split: components of the incomparability graph, merged
 	// until the cross-block order is uniform.
-	incomparable := func(u, v dag.NodeID) bool { return !p.comparable(u, v) }
-	blocks := components(members, incomparable)
+	blocks := p.components(members, true)
 	if len(blocks) > 1 {
 		blocks = p.mergeNonUniform(blocks)
 	}
@@ -209,52 +218,55 @@ func (p *parser) uniform(a, b []dag.NodeID) bool {
 }
 
 // components partitions members into connected components of the
-// symmetric relation rel. Components are returned with members
-// ascending, ordered by their smallest member, so the result is
-// deterministic.
-func components(members []dag.NodeID, rel func(u, v dag.NodeID) bool) [][]dag.NodeID {
-	n := len(members)
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
+// comparability relation (incomparable=false) or of its complement
+// within the member set (incomparable=true).
+//
+// Rather than testing all O(k²) member pairs, each BFS step expands a
+// whole neighbourhood word-parallel from the cached closures: u is
+// comparable to exactly desc[u] ∪ anc[u], so the unvisited neighbours
+// of u are (desc[u] ∪ anc[u]) ∩ unvisited, and under incomparability
+// the complement, unvisited ∖ desc[u] ∖ anc[u].
+//
+// Components are returned with members ascending, ordered by their
+// smallest member, so the result is deterministic: every caller passes
+// members ascending, and BFS seeds are taken in that order.
+func (p *parser) components(members []dag.NodeID, incomparable bool) [][]dag.NodeID {
+	uv := p.unvisited
+	uv.Clear()
+	for _, v := range members {
+		uv.Add(int(v))
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if rel(members[i], members[j]) {
-				union(i, j)
-			}
-		}
-	}
-	// Group by root over a dense slice rather than a map so the
-	// iteration below is deterministic (roots are member indices).
-	groups := make([][]dag.NodeID, n)
-	for i, v := range members {
-		r := find(i)
-		groups[r] = append(groups[r], v)
-	}
-	out := make([][]dag.NodeID, 0, n)
-	for _, g := range groups {
-		if len(g) == 0 {
+	tmp := p.tmp
+	var out [][]dag.NodeID
+	for _, seed := range members {
+		if !uv.Contains(int(seed)) {
 			continue
 		}
-		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
-		out = append(out, g)
+		uv.Remove(int(seed))
+		comp := []dag.NodeID{seed}
+		p.stack = append(p.stack[:0], seed)
+		grab := func(i int) {
+			comp = append(comp, dag.NodeID(i))
+			p.stack = append(p.stack, dag.NodeID(i))
+		}
+		for len(p.stack) > 0 {
+			u := p.stack[len(p.stack)-1]
+			p.stack = p.stack[:len(p.stack)-1]
+			if incomparable {
+				tmp.CopyFrom(uv)
+				tmp.Subtract(p.desc[u])
+				tmp.Subtract(p.anc[u])
+			} else {
+				tmp.CopyFrom(p.desc[u])
+				tmp.Union(p.anc[u])
+				tmp.Intersect(uv)
+			}
+			uv.Subtract(tmp)
+			tmp.ForEach(grab)
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		out = append(out, comp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
 }
 

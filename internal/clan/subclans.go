@@ -151,7 +151,17 @@ func ParseMembers(g *dag.Graph, members []dag.NodeID) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{desc: desc}
+	anc, err := g.Ancestors()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	p := &parser{
+		desc:      desc,
+		anc:       anc,
+		unvisited: bitset.New(n),
+		tmp:       bitset.New(n),
+	}
 	sorted := append([]dag.NodeID(nil), members...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return p.decompose(sorted), nil

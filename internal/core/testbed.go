@@ -63,6 +63,10 @@ type Options struct {
 	Factories []func() heuristics.Scheduler
 }
 
+// defaultFactories runs once per Evaluate call; the per-name closures
+// are setup cost, not per-graph work.
+//
+//lint:coldpath
 func defaultFactories() []func() heuristics.Scheduler {
 	fs := make([]func() heuristics.Scheduler, len(heuristics.PaperOrder))
 	for i, name := range heuristics.PaperOrder {
@@ -106,7 +110,7 @@ func Evaluate(c *corpus.Corpus, opts Options) (*Evaluation, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //lint:coldpath — one goroutine spawn per worker, not per graph
 			defer wg.Done()
 			scheds := make([]heuristics.Scheduler, len(factories))
 			for i, f := range factories {

@@ -1,0 +1,206 @@
+package dag
+
+import "schedcomp/internal/bitset"
+
+// Analysis cache. Every O(V+E) analysis the heuristics share — the
+// topological order and positions, b-levels with and without
+// communication, t-levels, ALAP times, the critical path, and the
+// descendant/ancestor closures — is computed at most once per graph
+// revision and memoized on the Graph itself. A mutation generation
+// counter guards the cache: every mutator (AddNode, AddEdge,
+// RemoveEdge, SetWeight, SetEdgeWeight, MapEdgeWeights) discards the
+// cached results, so a later read recomputes against the new shape.
+//
+// Thread-safety model: any number of goroutines may call the read-side
+// accessors concurrently; the first one to need a result computes it
+// under the graph's mutex and later ones return the shared memo.
+// Mutations must not run concurrently with reads or other mutations —
+// the same external-synchronization contract the adjacency slices
+// always had — but the cache fields themselves are always accessed
+// under the mutex, so a mutate-then-share handoff (gen, dup, the
+// corpus builder) needs no extra fencing beyond the handoff itself.
+//
+// Slices and bit sets returned by the cached accessors are shared with
+// the cache: callers must treat them as read-only. They remain valid
+// after the graph mutates (holders keep a consistent snapshot of the
+// revision they read), but they no longer describe the mutated graph.
+type analysisCache struct {
+	hasTopo bool
+	topo    []NodeID
+	topoErr error
+
+	pos []int // topo positions; nil until asked for
+
+	blComm   []int64 // b-levels with communication
+	blNoComm []int64 // b-levels without communication (Hu levels)
+	tl       []int64 // t-levels
+	alap     []int64 // ALAP start times
+
+	hasCPLen bool
+	cpLen    int64
+	hasCP    bool
+	cp       []NodeID
+
+	desc []*bitset.Set
+	anc  []*bitset.Set
+}
+
+// invalidate discards all memoized analyses and bumps the revision
+// counter. Every mutator calls it.
+func (g *Graph) invalidate() {
+	g.mu.Lock()
+	g.gen++
+	g.cache = nil
+	g.mu.Unlock()
+}
+
+// Generation returns the graph's mutation revision counter. It
+// increments on every mutation and exists so tests (and debugging
+// aids) can assert cache invalidation behaviour.
+func (g *Graph) Generation() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gen
+}
+
+// ensureCache returns the cache for the current revision, allocating
+// it on first use. The graph's mutex must be held.
+func (g *Graph) ensureCache() *analysisCache {
+	if g.cache == nil {
+		g.cache = &analysisCache{}
+	}
+	return g.cache
+}
+
+// The xxxLocked accessors lazily fill one cache field each. The
+// graph's mutex must be held; analyses freely call each other through
+// these without re-locking.
+
+func (g *Graph) topoLocked() ([]NodeID, error) {
+	c := g.ensureCache()
+	if !c.hasTopo {
+		c.topo, c.topoErr = g.computeTopoOrder()
+		c.hasTopo = true
+	}
+	return c.topo, c.topoErr
+}
+
+func (g *Graph) topoPositionsLocked() ([]int, error) {
+	c := g.ensureCache()
+	if c.pos == nil {
+		order, err := g.topoLocked()
+		if err != nil {
+			return nil, err
+		}
+		pos := make([]int, g.NumNodes())
+		for i, v := range order {
+			pos[v] = i
+		}
+		c.pos = pos
+	}
+	return c.pos, nil
+}
+
+func (g *Graph) blevelsLocked(withComm bool) ([]int64, error) {
+	c := g.ensureCache()
+	memo := &c.blComm
+	if !withComm {
+		memo = &c.blNoComm
+	}
+	if *memo == nil {
+		order, err := g.topoLocked()
+		if err != nil {
+			return nil, err
+		}
+		*memo = g.computeBLevels(order, withComm)
+	}
+	return *memo, nil
+}
+
+func (g *Graph) tlevelsLocked() ([]int64, error) {
+	c := g.ensureCache()
+	if c.tl == nil {
+		order, err := g.topoLocked()
+		if err != nil {
+			return nil, err
+		}
+		c.tl = g.computeTLevels(order)
+	}
+	return c.tl, nil
+}
+
+func (g *Graph) criticalPathLengthLocked() (int64, error) {
+	c := g.ensureCache()
+	if !c.hasCPLen {
+		lv, err := g.blevelsLocked(true)
+		if err != nil {
+			return 0, err
+		}
+		var cp int64
+		for i := range lv {
+			if len(g.pred[i]) == 0 && lv[i] > cp {
+				cp = lv[i]
+			}
+		}
+		c.cpLen = cp
+		c.hasCPLen = true
+	}
+	return c.cpLen, nil
+}
+
+func (g *Graph) alapLocked() ([]int64, error) {
+	c := g.ensureCache()
+	if c.alap == nil {
+		lv, err := g.blevelsLocked(true)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := g.criticalPathLengthLocked()
+		if err != nil {
+			return nil, err
+		}
+		alap := make([]int64, len(lv))
+		for i := range lv {
+			alap[i] = cp - lv[i]
+		}
+		c.alap = alap
+	}
+	return c.alap, nil
+}
+
+func (g *Graph) criticalPathLocked() ([]NodeID, error) {
+	c := g.ensureCache()
+	if !c.hasCP {
+		lv, err := g.blevelsLocked(true)
+		if err != nil {
+			return nil, err
+		}
+		c.cp = g.computeCriticalPath(lv)
+		c.hasCP = true
+	}
+	return c.cp, nil
+}
+
+func (g *Graph) descendantsLocked() ([]*bitset.Set, error) {
+	c := g.ensureCache()
+	if c.desc == nil {
+		order, err := g.topoLocked()
+		if err != nil {
+			return nil, err
+		}
+		c.desc = g.computeDescendants(order)
+	}
+	return c.desc, nil
+}
+
+func (g *Graph) ancestorsLocked() ([]*bitset.Set, error) {
+	c := g.ensureCache()
+	if c.anc == nil {
+		order, err := g.topoLocked()
+		if err != nil {
+			return nil, err
+		}
+		c.anc = g.computeAncestors(order)
+	}
+	return c.anc, nil
+}

@@ -13,6 +13,7 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense: a graph
@@ -35,12 +36,22 @@ type Edge struct {
 
 // Graph is a weighted DAG. The zero value is an empty graph ready for
 // use, but most callers use New to attach a name.
+//
+// Graphs memoize their derived analyses (topological order, levels,
+// reachability closures — see cache.go). Reads may run concurrently
+// from any number of goroutines; mutations require the same external
+// synchronization against reads that the adjacency accessors always
+// required. Graphs must not be copied by value after first use.
 type Graph struct {
 	name    string
 	weights []int64
 	succ    [][]Arc
 	pred    [][]Arc
 	edges   int
+
+	mu    sync.Mutex // guards gen and cache
+	gen   uint64     // mutation revision counter
+	cache *analysisCache
 }
 
 // New returns an empty graph with the given name.
@@ -68,6 +79,7 @@ func (g *Graph) AddNode(weight int64) NodeID {
 	g.weights = append(g.weights, weight)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
+	g.invalidate()
 	return NodeID(len(g.weights) - 1)
 }
 
@@ -101,6 +113,7 @@ func (g *Graph) AddEdge(from, to NodeID, weight int64) error {
 	g.succ[from] = append(g.succ[from], Arc{To: to, Weight: weight})
 	g.pred[to] = append(g.pred[to], Arc{To: from, Weight: weight})
 	g.edges++
+	g.invalidate()
 	return nil
 }
 
@@ -136,6 +149,7 @@ func (g *Graph) RemoveEdge(from, to NodeID) bool {
 		}
 	}
 	g.edges--
+	g.invalidate()
 	return true
 }
 
@@ -148,6 +162,7 @@ func (g *Graph) SetWeight(n NodeID, w int64) {
 		panic(fmt.Sprintf("dag: non-positive node weight %d", w))
 	}
 	g.weights[n] = w
+	g.invalidate()
 }
 
 // EdgeWeight returns the weight of edge from→to and whether it exists.
@@ -178,10 +193,46 @@ func (g *Graph) SetEdgeWeight(from, to NodeID, w int64) bool {
 					break
 				}
 			}
+			g.invalidate()
 			return true
 		}
 	}
 	return false
+}
+
+// MapEdgeWeights rewrites every edge weight in one pass: f receives
+// each edge (in the deterministic Edges order) and returns its new
+// weight, which must be non-negative. Both adjacency mirrors are
+// updated and the analysis cache is invalidated once, so bulk
+// recalibration (the generator's granularity walk) avoids the
+// per-edge lookup and invalidation cost of SetEdgeWeight. It reports
+// whether any weight changed.
+func (g *Graph) MapEdgeWeights(f func(from, to NodeID, w int64) int64) bool {
+	changed := false
+	for u := range g.succ {
+		for i := range g.succ[u] {
+			a := &g.succ[u][i]
+			nw := f(NodeID(u), a.To, a.Weight)
+			if nw < 0 {
+				panic(fmt.Sprintf("dag: MapEdgeWeights produced negative weight %d", nw))
+			}
+			if nw == a.Weight {
+				continue
+			}
+			a.Weight = nw
+			for j := range g.pred[a.To] {
+				if g.pred[a.To][j].To == NodeID(u) {
+					g.pred[a.To][j].Weight = nw
+					break
+				}
+			}
+			changed = true
+		}
+	}
+	if changed {
+		g.invalidate()
+	}
+	return changed
 }
 
 // Succs returns the outgoing arcs of n. Callers must not mutate the
@@ -241,7 +292,8 @@ func (g *Graph) SerialTime() int64 {
 	return t
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The copy starts with an
+// empty analysis cache at revision zero.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		name:    g.name,

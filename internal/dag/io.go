@@ -52,7 +52,14 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := ng.Validate(); err != nil {
 		return err
 	}
-	*g = *ng
+	// Field-wise assignment: Graph holds a mutex, so the struct must
+	// not be copied as a value.
+	g.name = ng.name
+	g.weights = ng.weights
+	g.succ = ng.succ
+	g.pred = ng.pred
+	g.edges = ng.edges
+	g.invalidate()
 	return nil
 }
 

@@ -57,16 +57,26 @@ func (g *Graph) SarkarGranularity() float64 {
 // Ties are broken toward the smaller degree so the result is
 // deterministic. A graph with no edges has anchor 0.
 func (g *Graph) AnchorOutDegree() int {
-	counts := map[int]int{}
 	maxDeg := 0
 	for i := range g.weights {
-		d := len(g.succ[i])
-		if d == 0 {
-			continue
-		}
-		counts[d]++
-		if d > maxDeg {
+		if d := len(g.succ[i]); d > maxDeg {
 			maxDeg = d
+		}
+	}
+	if maxDeg == 0 {
+		return 0
+	}
+	// Dense counting: the generator polls this once per adjustment
+	// iteration, so avoid a map allocation for the common small-degree
+	// case.
+	var buf [64]int
+	counts := buf[:]
+	if maxDeg >= len(buf) {
+		counts = make([]int, maxDeg+1)
+	}
+	for i := range g.weights {
+		if d := len(g.succ[i]); d > 0 {
+			counts[d]++
 		}
 	}
 	anchor, best := 0, 0

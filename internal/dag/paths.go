@@ -16,22 +16,25 @@ package dag
 //     definitions above this equals the heaviest source→sink path.
 //   - ALAPTimes: latest possible start times used by MCP's ALAP
 //     binding: T_L(n) = CP − BLevel(n).
+//
+// All of these are memoized per graph revision (see cache.go); the
+// returned slices are shared with the cache and must not be mutated.
 
 // BLevels returns level(n) for every node, with communication costs.
 func (g *Graph) BLevels() ([]int64, error) {
-	return g.blevels(true)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.blevelsLocked(true)
 }
 
 // BLevelsNoComm returns the classical (communication-free) levels.
 func (g *Graph) BLevelsNoComm() ([]int64, error) {
-	return g.blevels(false)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.blevelsLocked(false)
 }
 
-func (g *Graph) blevels(withComm bool) ([]int64, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+func (g *Graph) computeBLevels(order []NodeID, withComm bool) []int64 {
 	lv := make([]int64, g.NumNodes())
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
@@ -47,16 +50,18 @@ func (g *Graph) blevels(withComm bool) ([]int64, error) {
 		}
 		lv[v] = g.weights[v] + best
 	}
-	return lv, nil
+	return lv
 }
 
 // TLevels returns, for every node, the weight of the heaviest path from
 // a source to the start of the node (communication included).
 func (g *Graph) TLevels() ([]int64, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tlevelsLocked()
+}
+
+func (g *Graph) computeTLevels(order []NodeID) []int64 {
 	tl := make([]int64, g.NumNodes())
 	for _, v := range order {
 		var best int64
@@ -69,33 +74,27 @@ func (g *Graph) TLevels() ([]int64, error) {
 		}
 		tl[v] = best
 	}
-	return tl, nil
+	return tl
 }
 
 // CriticalPathLength returns the weight of the heaviest source→sink
 // path (nodes + edges).
 func (g *Graph) CriticalPathLength() (int64, error) {
-	lv, err := g.BLevels()
-	if err != nil {
-		return 0, err
-	}
-	var cp int64
-	for i := range lv {
-		if len(g.pred[i]) == 0 && lv[i] > cp {
-			cp = lv[i]
-		}
-	}
-	return cp, nil
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.criticalPathLengthLocked()
 }
 
 // CriticalPath returns one heaviest source→sink path as a node
 // sequence. Ties are broken toward smaller node IDs, so the result is
 // deterministic.
 func (g *Graph) CriticalPath() ([]NodeID, error) {
-	lv, err := g.BLevels()
-	if err != nil {
-		return nil, err
-	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.criticalPathLocked()
+}
+
+func (g *Graph) computeCriticalPath(lv []int64) []NodeID {
 	// Start at the source with the greatest level.
 	cur := NodeID(-1)
 	var best int64 = -1
@@ -106,7 +105,7 @@ func (g *Graph) CriticalPath() ([]NodeID, error) {
 		}
 	}
 	if cur < 0 {
-		return nil, nil // empty graph
+		return nil // empty graph
 	}
 	path := []NodeID{cur}
 	for len(g.succ[cur]) > 0 {
@@ -128,26 +127,14 @@ func (g *Graph) CriticalPath() ([]NodeID, error) {
 		cur = next
 		path = append(path, cur)
 	}
-	return path, nil
+	return path
 }
 
 // ALAPTimes returns the as-late-as-possible start time of every node:
 // T_L(n) = CP − level(n). Nodes on the critical path have T_L equal to
 // their earliest possible start; all T_L are ≥ 0.
 func (g *Graph) ALAPTimes() ([]int64, error) {
-	lv, err := g.BLevels()
-	if err != nil {
-		return nil, err
-	}
-	var cp int64
-	for i := range lv {
-		if len(g.pred[i]) == 0 && lv[i] > cp {
-			cp = lv[i]
-		}
-	}
-	alap := make([]int64, len(lv))
-	for i := range lv {
-		alap[i] = cp - lv[i]
-	}
-	return alap, nil
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.alapLocked()
 }

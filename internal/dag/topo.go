@@ -8,8 +8,16 @@ import (
 
 // TopoOrder returns the nodes in a deterministic topological order
 // (Kahn's algorithm, smallest-ID-first among ready nodes) or ErrCycle
-// if the graph is cyclic.
+// if the graph is cyclic. The result is memoized per graph revision;
+// callers must not mutate the returned slice.
 func (g *Graph) TopoOrder() ([]NodeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.topoLocked()
+}
+
+// computeTopoOrder is the raw Kahn's-algorithm pass behind TopoOrder.
+func (g *Graph) computeTopoOrder() ([]NodeID, error) {
 	n := g.NumNodes()
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -53,27 +61,26 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 }
 
 // TopoPositions returns pos such that pos[n] is node n's index in the
-// deterministic topological order.
+// deterministic topological order. The result is memoized per graph
+// revision (and shares the cached TopoOrder); callers must not mutate
+// the returned slice.
 func (g *Graph) TopoPositions() ([]int, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	pos := make([]int, g.NumNodes())
-	for i, v := range order {
-		pos[v] = i
-	}
-	return pos, nil
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.topoPositionsLocked()
 }
 
 // Descendants returns, for each node, the bit set of nodes strictly
 // reachable from it (the node itself is excluded). The graph must be
-// acyclic.
+// acyclic. The closure is memoized per graph revision; callers must
+// not mutate the returned sets.
 func (g *Graph) Descendants() ([]*bitset.Set, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.descendantsLocked()
+}
+
+func (g *Graph) computeDescendants(order []NodeID) []*bitset.Set {
 	n := g.NumNodes()
 	desc := make([]*bitset.Set, n)
 	for i := 0; i < n; i++ {
@@ -86,16 +93,19 @@ func (g *Graph) Descendants() ([]*bitset.Set, error) {
 			desc[v].Union(desc[a.To])
 		}
 	}
-	return desc, nil
+	return desc
 }
 
 // Ancestors returns, for each node, the bit set of nodes that strictly
-// reach it. The graph must be acyclic.
+// reach it. The graph must be acyclic. The closure is memoized per
+// graph revision; callers must not mutate the returned sets.
 func (g *Graph) Ancestors() ([]*bitset.Set, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ancestorsLocked()
+}
+
+func (g *Graph) computeAncestors(order []NodeID) []*bitset.Set {
 	n := g.NumNodes()
 	anc := make([]*bitset.Set, n)
 	for i := 0; i < n; i++ {
@@ -107,7 +117,7 @@ func (g *Graph) Ancestors() ([]*bitset.Set, error) {
 			anc[v].Union(anc[a.To])
 		}
 	}
-	return anc, nil
+	return anc
 }
 
 // HasPath reports whether v is reachable from u by a non-empty path.

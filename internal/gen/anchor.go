@@ -60,10 +60,18 @@ type adjuster struct {
 	pos    []int
 	byPo   []dag.NodeID
 	desc   []*bitset.Set
+	// cand and opts are scratch reused across the (serial) adjustment
+	// loop; the loop runs up to 60·n times per graph.
+	cand []dag.NodeID
+	opts []dag.NodeID
 }
 
-// refresh recomputes the topological order and the closure; called
-// initially and after any reachability-changing mutation.
+// refresh computes the topological order and a private copy of the
+// descendant closure. The copy is owned by the adjuster: it is updated
+// incrementally on edge insertion and rebuilt in place on removal, so
+// the 60·n-iteration adjustment loop allocates no closure storage after
+// this call (the graph's own cached closure must not be mutated — other
+// holders may share it).
 func (a *adjuster) refresh() error {
 	pos, err := a.g.TopoPositions()
 	if err != nil {
@@ -74,8 +82,30 @@ func (a *adjuster) refresh() error {
 	for v, p := range pos {
 		a.byPo[p] = dag.NodeID(v)
 	}
-	a.desc, err = a.g.Descendants()
-	return err
+	shared, err := a.g.Descendants()
+	if err != nil {
+		return err
+	}
+	a.desc = make([]*bitset.Set, len(shared))
+	for i, s := range shared {
+		a.desc[i] = s.Clone()
+	}
+	return nil
+}
+
+// recomputeDesc rebuilds the private closure in place by walking the
+// fixed topological order backwards. Edge removals never invalidate a
+// topological order, so a.byPo stays usable for the whole adjustment.
+func (a *adjuster) recomputeDesc() {
+	for i := len(a.byPo) - 1; i >= 0; i-- {
+		x := a.byPo[i]
+		d := a.desc[x]
+		d.Clear()
+		for _, arc := range a.g.Succs(x) {
+			d.Add(int(arc.To))
+			d.Union(a.desc[arc.To])
+		}
+	}
 }
 
 // bumpUp adds one outgoing edge to a random node of the given
@@ -111,17 +141,17 @@ func (a *adjuster) bumpUp(degree int) bool {
 // adjacent to. Reachability is unchanged, so the cached closure stays
 // valid.
 func (a *adjuster) addToDescendant(u dag.NodeID) bool {
-	var options []dag.NodeID
+	a.opts = a.opts[:0]
 	a.desc[u].ForEach(func(i int) {
 		v := dag.NodeID(i)
 		if _, dup := a.g.EdgeWeight(u, v); !dup {
-			options = append(options, v)
+			a.opts = append(a.opts, v)
 		}
 	})
-	if len(options) == 0 {
+	if len(a.opts) == 0 {
 		return false
 	}
-	v := options[a.rng.Intn(len(options))]
+	v := a.opts[a.rng.Intn(len(a.opts))]
 	a.g.MustAddEdge(u, v, 1)
 	return true
 }
@@ -146,14 +176,21 @@ func (a *adjuster) addToLater(u dag.NodeID, sameBranch bool) bool {
 		if _, dup := a.g.EdgeWeight(u, v); dup {
 			continue
 		}
+		reachable := a.desc[u].Contains(int(v))
 		a.g.MustAddEdge(u, v, 1)
-		// The fixed order is still topological; only the closure needs
-		// refreshing.
-		var err error
-		a.desc, err = a.g.Descendants()
-		if err != nil {
-			// Cannot happen: the edge goes forward in topo order.
-			panic("gen: descendants after edge add: " + err.Error())
+		// The fixed order is still topological. If v was not already
+		// reachable from u, every node that reaches u (and u itself)
+		// now also reaches v and all of v's descendants; nothing else
+		// changes, so the closure is patched without a recompute. (v
+		// cannot be an ancestor of u — the edge goes forward in the
+		// order — so desc[v] is never mutated mid-loop.)
+		if !reachable {
+			for x := range a.desc {
+				if dag.NodeID(x) == u || a.desc[x].Contains(int(u)) {
+					a.desc[x].Add(int(v))
+					a.desc[x].Union(a.desc[v])
+				}
+			}
 		}
 		return true
 	}
@@ -172,11 +209,7 @@ func (a *adjuster) trimDown(degree int) bool {
 			v := arcs[i].To
 			if a.g.InDegree(v) >= 2 {
 				a.g.RemoveEdge(u, v)
-				var err error
-				a.desc, err = a.g.Descendants()
-				if err != nil {
-					panic("gen: descendants after edge removal: " + err.Error())
-				}
+				a.recomputeDesc()
 				return true
 			}
 		}
@@ -184,17 +217,19 @@ func (a *adjuster) trimDown(degree int) bool {
 	return false
 }
 
+// nodesWithOutDegree returns the nodes of the given out-degree in the
+// reused a.cand buffer; the result is only valid until the next call.
 func (a *adjuster) nodesWithOutDegree(degree int) []dag.NodeID {
-	var out []dag.NodeID
+	a.cand = a.cand[:0]
 	if degree < 1 {
-		return out
+		return a.cand
 	}
 	for v := 0; v < a.g.NumNodes(); v++ {
 		if a.g.OutDegree(dag.NodeID(v)) == degree {
-			out = append(out, dag.NodeID(v))
+			a.cand = append(a.cand, dag.NodeID(v))
 		}
 	}
-	return out
+	return a.cand
 }
 
 func (a *adjuster) shuffle(s []dag.NodeID) {

@@ -106,18 +106,16 @@ func assignWeights(g *dag.Graph, p Params, sh *shape, rng *rand.Rand) error {
 }
 
 // rescaleEdges multiplies every edge weight by s (min 1) and reports
-// whether any weight changed.
+// whether any weight changed. The bulk rewrite touches both adjacency
+// mirrors in one pass and costs a single cache invalidation, instead of
+// materialising the edge list and invalidating per SetEdgeWeight call
+// (the calibration loop runs this up to 40 times per graph).
 func rescaleEdges(g *dag.Graph, s float64) bool {
-	changed := false
-	for _, e := range g.Edges() {
-		nw := int64(math.Round(float64(e.Weight) * s))
+	return g.MapEdgeWeights(func(from, to dag.NodeID, w int64) int64 {
+		nw := int64(math.Round(float64(w) * s))
 		if nw < 1 {
 			nw = 1
 		}
-		if nw != e.Weight {
-			g.SetEdgeWeight(e.From, e.To, nw)
-			changed = true
-		}
-	}
-	return changed
+		return nw
+	})
 }

@@ -33,10 +33,26 @@ func init() {
 }
 
 // DSC is the scheduler. The zero value is ready to use.
-type DSC struct{}
+//
+// Levels are maintained incrementally: placing a task on a fresh
+// cluster zeroes no edges and changes no level, and merging a task
+// into a parent cluster only lowers levels inside the ancestor cone of
+// the zeroed edges, which is repaired in reverse topological order
+// (see refreshCone). fullRecompute switches back to the original
+// whole-graph refresh every round; the two paths produce identical
+// placements (asserted by TestIncrementalMatchesFullRecompute) and the
+// slow one is kept as the test oracle.
+type DSC struct {
+	fullRecompute bool
+}
 
 // New returns a DSC scheduler.
 func New() *DSC { return &DSC{} }
+
+// newFullRecompute returns the reference scheduler that refreshes all
+// levels every round — the pre-incremental O(V·(V+E)) path, kept as
+// the oracle for the equivalence tests.
+func newFullRecompute() *DSC { return &DSC{fullRecompute: true} }
 
 // Name implements heuristics.Scheduler.
 func (d *DSC) Name() string { return "DSC" }
@@ -48,7 +64,14 @@ type state struct {
 	free    []int64        // cluster -> time it becomes free
 	st      []int64        // node -> scheduled start time
 	nsched  []int          // node -> count of scheduled predecessors
-	level   []int64        // recomputed each round with zeroed edges
+	level   []int64        // maintained with zeroed edges
+
+	// Incremental-maintenance state; nil when running the full
+	// recompute reference path (and in the hand-built unit-test
+	// states, which call recomputeLevels directly).
+	pos    []int        // cached topo position of each node
+	dirty  []dag.NodeID // max-heap of pending nodes, keyed by pos
+	inHeap []bool       // heap membership, to coalesce duplicates
 }
 
 // Schedule implements heuristics.Scheduler.
@@ -68,9 +91,27 @@ func (d *DSC) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	for i := range s.cluster {
 		s.cluster[i] = -1
 	}
+	if !d.fullRecompute {
+		pos, err := g.TopoPositions()
+		if err != nil {
+			return nil, err
+		}
+		bl, err := g.BLevels()
+		if err != nil {
+			return nil, err
+		}
+		// With no clusters yet, no edge is zeroed: the initial levels
+		// are exactly the graph's b-levels (shared cached slice —
+		// copied because place() lowers them in place).
+		copy(s.level, bl)
+		s.pos = pos
+		s.inHeap = make([]bool, n)
+	}
 
 	for scheduled := 0; scheduled < n; scheduled++ {
-		s.recomputeLevels(order)
+		if d.fullRecompute {
+			s.recomputeLevels(order)
+		}
 
 		nx := s.topFree()
 		ny := s.topPartialFree()
@@ -102,18 +143,102 @@ func (d *DSC) Schedule(g *dag.Graph) (*sched.Placement, error) {
 
 // recomputeLevels refreshes level(n) = longest remaining path including
 // communication, where edges internal to a cluster are already zeroed.
+// It is the whole-graph reference path; the incremental path repairs
+// only the affected ancestor cone (refreshCone).
 func (s *state) recomputeLevels(order []dag.NodeID) {
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		var best int64
-		for _, a := range s.g.Succs(v) {
-			c := s.level[a.To] + s.effWeight(v, a.To, a.Weight)
-			if c > best {
-				best = c
-			}
-		}
-		s.level[v] = s.g.Weight(v) + best
+		s.level[v] = s.levelOf(v)
 	}
+}
+
+// levelOf recomputes one node's level from its successors' current
+// levels and effective (cluster-aware) edge weights.
+func (s *state) levelOf(v dag.NodeID) int64 {
+	var best int64
+	for _, a := range s.g.Succs(v) {
+		c := s.level[a.To] + s.effWeight(v, a.To, a.Weight)
+		if c > best {
+			best = c
+		}
+	}
+	return s.g.Weight(v) + best
+}
+
+// refreshCone restores the level invariant after v was merged into
+// cluster c: the edges from v's cluster-c predecessors to v just went
+// to zero, so only those predecessors — and transitively their
+// ancestors, when a level actually drops — can change. Nodes are
+// repaired in decreasing topological position (a max-heap keyed by the
+// cached topo order), so every node's successors are final before the
+// node itself is recomputed, exactly as in the full reverse-topo
+// sweep.
+func (s *state) refreshCone(v dag.NodeID, c int) {
+	for _, a := range s.g.Preds(v) {
+		if s.cluster[a.To] == c {
+			s.pushDirty(a.To)
+		}
+	}
+	for len(s.dirty) > 0 {
+		u := s.popDirty()
+		nl := s.levelOf(u)
+		if nl == s.level[u] {
+			continue
+		}
+		s.level[u] = nl
+		for _, a := range s.g.Preds(u) {
+			s.pushDirty(a.To)
+		}
+	}
+}
+
+// pushDirty adds v to the pending max-heap unless already queued.
+func (s *state) pushDirty(v dag.NodeID) {
+	if s.inHeap[v] {
+		return
+	}
+	s.inHeap[v] = true
+	h, pos := s.dirty, s.pos
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if pos[h[p]] >= pos[h[i]] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.dirty = h
+}
+
+// popDirty removes and returns the pending node with the greatest
+// topological position.
+func (s *state) popDirty() dag.NodeID {
+	h, pos := s.dirty, s.pos
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && pos[h[l]] > pos[h[big]] {
+			big = l
+		}
+		if r < len(h) && pos[h[r]] > pos[h[big]] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	s.dirty = h
+	s.inHeap[top] = false
+	return top
 }
 
 func (s *state) effWeight(u, v dag.NodeID, w int64) int64 {
@@ -260,6 +385,7 @@ func (s *state) ct2(c int, nx, ny dag.NodeID) bool {
 
 // place commits v to cluster c (or a new cluster when c < 0).
 func (s *state) place(v dag.NodeID, c int) {
+	merged := c >= 0
 	if c < 0 {
 		c = len(s.members)
 		s.members = append(s.members, nil)
@@ -272,5 +398,12 @@ func (s *state) place(v dag.NodeID, c int) {
 	s.members[c] = append(s.members[c], v)
 	for _, a := range s.g.Succs(v) {
 		s.nsched[a.To]++
+	}
+	// A fresh cluster zeroes no edges, so levels are untouched; a
+	// merge zeroes the edges from v's cluster-c predecessors.
+	// (inHeap is nil on the full-recompute path, which refreshes all
+	// levels at the top of each round instead.)
+	if merged && s.inHeap != nil {
+		s.refreshCone(v, c)
 	}
 }

@@ -1,7 +1,8 @@
 // Package hotalloc flags avoidable per-iteration allocations inside
 // the scheduling hot paths (internal/heuristics, internal/sched,
-// internal/pq, internal/dag — schedtest is excluded). It consumes the
-// loop-depth annotations of the ssair SSA form:
+// internal/pq, internal/dag, internal/core, internal/gen — schedtest
+// is excluded). It consumes the loop-depth annotations of the ssair
+// SSA form:
 //
 //   - maps, channels and empty slice literals allocated inside a loop
 //     (hoist them, or preallocate with a size hint);
@@ -25,7 +26,7 @@ import (
 )
 
 // Scope lists the package-path fragments this analyzer polices.
-var Scope = []string{"internal/heuristics", "internal/sched", "internal/pq", "internal/dag"}
+var Scope = []string{"internal/heuristics", "internal/sched", "internal/pq", "internal/dag", "internal/core", "internal/gen"}
 
 // Analyzer is the hotalloc pass.
 var Analyzer = &lint.Analyzer{

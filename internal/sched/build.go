@@ -23,7 +23,9 @@ func Build(g *dag.Graph, pl *Placement) (*Schedule, error) {
 	// Under the uniform model processor labels are interchangeable, so
 	// compact them for dense output (and an accurate processor count).
 	pl.Compact()
-	return BuildWith(g, pl, UniformDelay)
+	// The placement was checked above and Compact preserves validity,
+	// so skip BuildWith's re-check.
+	return buildWith(g, pl, UniformDelay)
 }
 
 // MustBuild is Build for placements known to be valid by construction;

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"schedcomp/internal/dag"
 )
@@ -29,11 +30,85 @@ func UniformDelay(from, to int, weight int64) int64 {
 // different network positions. Empty processors therefore count
 // toward NumProcs here.
 func BuildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) {
-	if delay == nil {
-		delay = UniformDelay
-	}
 	if err := pl.Check(g); err != nil {
 		return nil, err
+	}
+	return buildWith(g, pl, delay)
+}
+
+// buildScratch holds the timing builder's working arrays. The full
+// testbed calls Build once per (graph, heuristic) pair, so the scratch
+// is pooled per worker instead of reallocated each time; only the
+// resulting Schedule's ByNode escapes.
+type buildScratch struct {
+	done   []bool
+	finish []int64
+	head   []int
+	free   []int64
+	// cand[p] caches processor p's candidate start time (candBlocked
+	// when its queue head is not ready or the queue is empty);
+	// candDirty marks entries that must be recomputed this round.
+	cand      []int64
+	candDirty []bool
+	// Intrusive waiter lists: waiterHead[v] is the first processor
+	// whose queue head is blocked on node v, waiterNext chains the
+	// rest. Each processor waits on at most one node at a time.
+	waiterHead []int32
+	waiterNext []int32
+}
+
+// candBlocked marks a processor with no schedulable queue head.
+const candBlocked = int64(^uint64(0) >> 1)
+
+var buildPool = sync.Pool{New: func() interface{} { return new(buildScratch) }}
+
+// grow resizes (and zeroes) the scratch for n nodes and p processors.
+func (b *buildScratch) grow(n, p int) {
+	if cap(b.done) < n {
+		b.done = make([]bool, n)
+		b.finish = make([]int64, n)
+		b.waiterHead = make([]int32, n)
+	}
+	b.done = b.done[:n]
+	b.finish = b.finish[:n]
+	b.waiterHead = b.waiterHead[:n]
+	for i := range b.done {
+		b.done[i] = false
+		b.waiterHead[i] = -1
+	}
+	if cap(b.head) < p {
+		b.head = make([]int, p)
+		b.free = make([]int64, p)
+		b.cand = make([]int64, p)
+		b.candDirty = make([]bool, p)
+		b.waiterNext = make([]int32, p)
+	}
+	b.head = b.head[:p]
+	b.free = b.free[:p]
+	b.cand = b.cand[:p]
+	b.candDirty = b.candDirty[:p]
+	b.waiterNext = b.waiterNext[:p]
+	for i := range b.head {
+		b.head[i] = 0
+		b.free[i] = 0
+		b.candDirty[i] = true
+	}
+}
+
+// buildWith is BuildWith for placements already known to pass Check.
+//
+// Rather than rescanning every processor's queue head each round, the
+// loop caches each processor's candidate start time and recomputes only
+// the entries a commitment can have changed: the committing processor
+// itself (its queue advanced and its free time moved) and any processor
+// whose head was blocked on the committed node (tracked by the waiter
+// lists). A cached candidate cannot go stale any other way — a ready
+// head's start time depends only on its (already finished) predecessors
+// and its own processor's free time — so the incremental loop commits
+// the identical task sequence the full rescan would.
+func buildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) {
+	if delay == nil {
+		delay = UniformDelay
 	}
 	n := g.NumNodes()
 	numProcs := len(pl.Order)
@@ -41,45 +116,68 @@ func BuildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) 
 	if n == 0 {
 		return s, nil
 	}
-	done := make([]bool, n)
-	finish := make([]int64, n)
-	head := make([]int, numProcs)
-	free := make([]int64, numProcs)
+	scratch := buildPool.Get().(*buildScratch)
+	defer buildPool.Put(scratch)
+	scratch.grow(n, numProcs)
+	done := scratch.done
+	finish := scratch.finish
+	head := scratch.head
+	free := scratch.free
+	cand := scratch.cand
+	candDirty := scratch.candDirty
+	waiterHead := scratch.waiterHead
+	waiterNext := scratch.waiterNext
 	remaining := n
 	for remaining > 0 {
-		bestProc := -1
-		var bestStart int64
-		var bestNode dag.NodeID
 		for p := 0; p < numProcs; p++ {
+			if !candDirty[p] {
+				continue
+			}
+			candDirty[p] = false
 			if head[p] >= len(pl.Order[p]) {
+				cand[p] = candBlocked
 				continue
 			}
 			v := pl.Order[p][head[p]]
 			var start int64
-			ok := true
+			ready := true
 			for _, e := range g.Preds(v) {
 				if !done[e.To] {
-					ok = false
+					// Park p on the first unfinished predecessor; its
+					// completion re-dirties the candidate.
+					waiterNext[p] = waiterHead[e.To]
+					waiterHead[e.To] = int32(p)
+					ready = false
 					break
 				}
-				t := finish[e.To] + delay(pl.Proc[e.To], p, e.Weight)
-				if t > start {
+				if t := finish[e.To] + delay(pl.Proc[e.To], p, e.Weight); t > start {
 					start = t
 				}
 			}
-			if !ok {
+			if !ready {
+				cand[p] = candBlocked
 				continue
 			}
 			if start < free[p] {
 				start = free[p]
 			}
-			if bestProc == -1 || start < bestStart {
-				bestProc, bestStart, bestNode = p, start, v
+			cand[p] = start
+		}
+		// Commit the smallest candidate (ties to the lower processor).
+		bestProc := -1
+		var bestStart int64
+		for p := 0; p < numProcs; p++ {
+			if cand[p] == candBlocked {
+				continue
+			}
+			if bestProc == -1 || cand[p] < bestStart {
+				bestProc, bestStart = p, cand[p]
 			}
 		}
 		if bestProc == -1 {
 			return nil, fmt.Errorf("sched: placement order deadlocks against precedence (%d tasks left)", remaining)
 		}
+		bestNode := pl.Order[bestProc][head[bestProc]]
 		f := bestStart + g.Weight(bestNode)
 		s.ByNode[bestNode] = Assignment{Node: bestNode, Proc: bestProc, Start: bestStart, Finish: f}
 		done[bestNode] = true
@@ -87,6 +185,11 @@ func BuildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) 
 		free[bestProc] = f
 		head[bestProc]++
 		remaining--
+		candDirty[bestProc] = true
+		for w := waiterHead[bestNode]; w != -1; w = waiterNext[w] {
+			candDirty[w] = true
+		}
+		waiterHead[bestNode] = -1
 		if f > s.Makespan {
 			s.Makespan = f
 		}

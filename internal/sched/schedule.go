@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"schedcomp/internal/dag"
@@ -91,15 +93,24 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("sched: node %d finishes at %d beyond makespan %d", i, a.Finish, s.Makespan)
 		}
 	}
-	// No overlap per processor.
-	for p := 0; p < s.NumProcs; p++ {
-		tasks := s.ProcTasks(p)
-		for i := 1; i < len(tasks); i++ {
-			if tasks[i].Start < tasks[i-1].Finish {
-				return fmt.Errorf("sched: processor %d overlap: node %d [%d,%d) vs node %d [%d,%d)",
-					p, tasks[i-1].Node, tasks[i-1].Start, tasks[i-1].Finish,
-					tasks[i].Node, tasks[i].Start, tasks[i].Finish)
-			}
+	// No overlap per processor: one pass over the assignments sorted
+	// by (processor, start) rather than a per-processor scan of the
+	// whole node list (Validate runs once per schedule on the testbed
+	// hot path).
+	byProc := make([]Assignment, n)
+	copy(byProc, s.ByNode)
+	slices.SortFunc(byProc, func(a, b Assignment) int {
+		if a.Proc != b.Proc {
+			return a.Proc - b.Proc
+		}
+		return cmp.Compare(a.Start, b.Start)
+	})
+	for i := 1; i < len(byProc); i++ {
+		prev, cur := byProc[i-1], byProc[i]
+		if cur.Proc == prev.Proc && cur.Start < prev.Finish {
+			return fmt.Errorf("sched: processor %d overlap: node %d [%d,%d) vs node %d [%d,%d)",
+				cur.Proc, prev.Node, prev.Start, prev.Finish,
+				cur.Node, cur.Start, cur.Finish)
 		}
 	}
 	// Precedence + communication.
