@@ -11,6 +11,7 @@ import (
 
 	"schedcomp/internal/corpus"
 	"schedcomp/internal/heuristics"
+	"schedcomp/internal/obs"
 )
 
 // BenchSpec pins the corpus parameters a bench result was measured on.
@@ -55,8 +56,9 @@ type BenchResult struct {
 
 // runBench runs every registered heuristic over the corpus, one
 // heuristic at a time on a single goroutine, and aggregates timing,
-// allocation, and schedule-hash measurements.
-func runBench(c *corpus.Corpus, corpusGen time.Duration, note string) (*BenchResult, error) {
+// allocation, and schedule-hash measurements. tr may be nil; when set,
+// each heuristic's pass is recorded as a child span.
+func runBench(c *corpus.Corpus, corpusGen time.Duration, note string, tr *obs.Trace) (*BenchResult, error) {
 	res := &BenchResult{
 		Spec: BenchSpec{
 			Seed:         c.Spec.Seed,
@@ -70,6 +72,8 @@ func runBench(c *corpus.Corpus, corpusGen time.Duration, note string) (*BenchRes
 	}
 	var evalTotal time.Duration
 	var ms runtime.MemStats
+	spBench := tr.Span("bench")
+	defer spBench.End()
 	for _, name := range heuristics.Names() {
 		s, err := heuristics.New(name)
 		if err != nil {
@@ -83,6 +87,7 @@ func runBench(c *corpus.Corpus, corpusGen time.Duration, note string) (*BenchRes
 		}
 		runtime.ReadMemStats(&ms)
 		allocs0 := ms.Mallocs
+		spH := spBench.Span(name)
 		start := time.Now()
 		for _, set := range c.Sets {
 			for _, g := range set.Graphs {
@@ -100,6 +105,7 @@ func runBench(c *corpus.Corpus, corpusGen time.Duration, note string) (*BenchRes
 			}
 		}
 		elapsed := time.Since(start)
+		spH.End()
 		runtime.ReadMemStats(&ms)
 		evalTotal += elapsed
 		n := c.NumGraphs()

@@ -19,11 +19,11 @@ func tinyCorpus(t *testing.T) *corpus.Corpus {
 
 func TestBenchHashesAreReproducible(t *testing.T) {
 	c := tinyCorpus(t)
-	r1, err := runBench(c, time.Second, "")
+	r1, err := runBench(c, time.Second, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := runBench(c, time.Second, "")
+	r2, err := runBench(c, time.Second, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestBenchHashesAreReproducible(t *testing.T) {
 
 func TestBenchGoldenRoundTrip(t *testing.T) {
 	c := tinyCorpus(t)
-	res, err := runBench(c, time.Second, "note")
+	res, err := runBench(c, time.Second, "note", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 //
 //	schedbench -bench [-benchout FILE] [-golden FILE] [-writegolden FILE]
 //	schedbench -cpuprofile cpu.out -memprofile mem.out
+//	schedbench -metrics -trace
 //
 // -bench replaces the report with a perf run: every registered
 // heuristic is timed single-threaded over the corpus and the result
@@ -21,6 +22,11 @@
 // against a committed baseline and exits non-zero on any divergence,
 // which is how CI catches unintended behavioural changes riding along
 // with performance work.
+//
+// -metrics enables the internal/obs registry and dumps every counter
+// and histogram in the Prometheus text format on exit; -trace records
+// per-phase spans (corpus, evaluate/bench, report) and prints the
+// flame-style tree. Both are off by default and cost nothing when off.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"schedcomp"
+	"schedcomp/internal/obs"
 	"schedcomp/internal/report"
 )
 
@@ -56,8 +63,28 @@ func run() int {
 		writeGolden = flag.String("writegolden", "", "also write the -bench result to this golden file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		withMetrics = flag.Bool("metrics", false, "enable the obs registry and dump it (Prometheus text) on exit")
+		withTrace   = flag.Bool("trace", false, "record per-phase spans and print the trace tree on exit")
 	)
 	flag.Parse()
+
+	if *withMetrics {
+		obs.Default().SetEnabled(true)
+	}
+	var tr *obs.Trace // nil unless -trace; every method is nil-safe
+	if *withTrace {
+		tr = obs.NewTrace("schedbench")
+	}
+	defer func() {
+		if tr != nil {
+			fmt.Println()
+			fmt.Print(tr.Tree())
+		}
+		if *withMetrics {
+			fmt.Println()
+			_ = obs.Default().WritePrometheus(os.Stdout)
+		}
+	}()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -92,6 +119,7 @@ func run() int {
 	var c *schedcomp.Corpus
 	var err error
 	start := time.Now()
+	spCorpus := tr.Span("corpus")
 	if *loadDir != "" {
 		fmt.Printf("loading corpus from %s...\n", *loadDir)
 		c, err = schedcomp.LoadCorpus(*loadDir)
@@ -112,6 +140,7 @@ func run() int {
 			return 1
 		}
 	}
+	spCorpus.End()
 	corpusGen := time.Since(start)
 	fmt.Printf("corpus ready: %d graphs in %v\n", c.NumGraphs(), corpusGen.Round(time.Millisecond))
 	if *saveDir != "" {
@@ -128,18 +157,21 @@ func run() int {
 	}
 
 	if *bench {
-		return runBenchMode(c, corpusGen, *benchNote, *benchOut, *golden, *writeGolden)
+		return runBenchMode(c, corpusGen, *benchNote, *benchOut, *golden, *writeGolden, tr)
 	}
 
 	start = time.Now()
 	fmt.Println("evaluating CLANS, DSC, MCP, MH, HU on every graph...")
+	spEval := tr.Span("evaluate")
 	ev, err := schedcomp.Evaluate(c)
+	spEval.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluation failed:", err)
 		return 1
 	}
 	fmt.Printf("evaluated %d schedules in %v\n\n", 5*c.NumGraphs(), time.Since(start).Round(time.Millisecond))
 
+	spReport := tr.Span("report")
 	for _, t := range schedcomp.Tables(ev) {
 		fmt.Println(t)
 	}
@@ -148,6 +180,7 @@ func run() int {
 			fmt.Println(f)
 		}
 	}
+	spReport.End()
 
 	if *markdown != "" {
 		f, err := os.Create(*markdown)
@@ -198,9 +231,9 @@ func run() int {
 
 // runBenchMode times every registered heuristic over the corpus,
 // writes the JSON result, and optionally checks it against a golden.
-func runBenchMode(c *schedcomp.Corpus, corpusGen time.Duration, note, out, golden, writeGolden string) int {
+func runBenchMode(c *schedcomp.Corpus, corpusGen time.Duration, note, out, golden, writeGolden string, tr *obs.Trace) int {
 	fmt.Println("benchmarking all registered heuristics (single-threaded)...")
-	res, err := runBench(c, corpusGen, note)
+	res, err := runBench(c, corpusGen, note, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench failed:", err)
 		return 1

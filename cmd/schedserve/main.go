@@ -1,0 +1,91 @@
+// Command schedserve is a long-running HTTP scheduling service: POST a
+// DAG as JSON and get the timed schedule back, computed by any
+// registered heuristic under the paper's execution model.
+//
+// Endpoints:
+//
+//	POST /schedule?heuristic=MCP[&format=gantt][&trace=1]
+//	              body: {"name":..., "nodes":[weights], "edges":[{"from","to","weight"}]}
+//	GET  /heuristics      registered scheduler names
+//	GET  /metrics         obs registry, Prometheus text format
+//	GET  /healthz         liveness probe
+//	GET  /debug/pprof/    runtime profiles
+//
+// Every request is bounded by -timeout; SIGINT/SIGTERM drain in-flight
+// requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"schedcomp/internal/obs"
+
+	// Link in every heuristic so ?heuristic= can pick any of them.
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dcp"
+	_ "schedcomp/internal/heuristics/dls"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/etf"
+	_ "schedcomp/internal/heuristics/ez"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/lc"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+	_ "schedcomp/internal/heuristics/random"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout for /schedule (0 disables)")
+		drain   = flag.Duration("drain", 5*time.Second, "graceful shutdown drain limit")
+		maxBody = flag.Int64("maxbody", defaultMaxBody, "maximum DAG request body in bytes")
+	)
+	flag.Parse()
+
+	// The service exists to be observed: metrics are always on.
+	obs.Default().SetEnabled(true)
+	srv := newServer(obs.Default(), serverOptions{Timeout: *timeout, MaxBody: *maxBody})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("schedserve: listening on %s (request timeout %v)", *addr, *timeout)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("schedserve: %v", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+	stopSig() // a second signal kills immediately rather than draining
+	log.Printf("schedserve: draining (limit %v)...", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("schedserve: shutdown: %v", err)
+		return 1
+	}
+	log.Printf("schedserve: bye")
+	return 0
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/obs"
+)
+
+// serverOptions configures the HTTP layer.
+type serverOptions struct {
+	// Timeout bounds one /schedule request end to end; 0 disables.
+	Timeout time.Duration
+	// MaxBody caps the request body size in bytes.
+	MaxBody int64
+}
+
+// server wires the scheduling endpoints to the obs registry.
+type server struct {
+	reg  *obs.Registry
+	opts serverOptions
+	mux  *http.ServeMux
+}
+
+const defaultMaxBody = 8 << 20
+
+func newServer(reg *obs.Registry, opts serverOptions) *server {
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = defaultMaxBody
+	}
+	s := &server{reg: reg, opts: opts, mux: http.NewServeMux()}
+
+	schedule := http.Handler(http.HandlerFunc(s.handleSchedule))
+	if opts.Timeout > 0 {
+		schedule = http.TimeoutHandler(schedule, opts.Timeout, "schedserve: request timed out\n")
+	}
+	s.mux.Handle("/schedule", s.instrument("/schedule", schedule))
+	s.mux.Handle("/heuristics", s.instrument("/heuristics", http.HandlerFunc(s.handleHeuristics)))
+	s.mux.Handle("/metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	s.mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps h with a per-path duration histogram and a
+// per-(path, status) request counter. Paths are the fixed routes
+// above and status codes are a small finite set, so cardinality stays
+// bounded.
+func (s *server) instrument(path string, h http.Handler) http.Handler {
+	dur := s.reg.Histogram("serve_request_seconds",
+		"End-to-end request handling time.", obs.DefTimeBuckets, obs.L("path", path))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		dur.Observe(time.Since(t0).Seconds())
+		s.reg.Counter("serve_requests_total", "Requests by path and status code.",
+			obs.L("path", path), obs.L("code", strconv.Itoa(sw.code))).Inc()
+	})
+}
+
+// assignmentJSON is one task's placement in the response.
+type assignmentJSON struct {
+	Node   int   `json:"node"`
+	Proc   int   `json:"proc"`
+	Start  int64 `json:"start"`
+	Finish int64 `json:"finish"`
+}
+
+// scheduleResponse is the /schedule JSON body.
+type scheduleResponse struct {
+	Heuristic   string           `json:"heuristic"`
+	Graph       string           `json:"graph,omitempty"`
+	Nodes       int              `json:"nodes"`
+	SerialTime  int64            `json:"serial_time"`
+	Makespan    int64            `json:"makespan"`
+	Procs       int              `json:"procs"`
+	Speedup     float64          `json:"speedup"`
+	Efficiency  float64          `json:"efficiency"`
+	Assignments []assignmentJSON `json:"assignments"`
+	Trace       json.RawMessage  `json:"trace,omitempty"`
+}
+
+// handleSchedule schedules one DAG: POST a graph as JSON, pick the
+// heuristic with ?heuristic= (default MCP), get the timed schedule
+// back as JSON, or as a text Gantt chart with ?format=gantt. ?trace=1
+// embeds the request's span trace in the JSON response.
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a DAG as JSON")
+		return
+	}
+	name := r.URL.Query().Get("heuristic")
+	if name == "" {
+		name = "MCP"
+	}
+	sc, err := heuristics.New(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	tr := obs.NewTrace("schedule " + name)
+	dec := tr.Span("decode")
+	g, err := dag.ReadJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	dec.End()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad DAG: "+err.Error())
+		return
+	}
+
+	run := tr.Span("schedule")
+	schedule, err := heuristics.Run(sc, g)
+	run.End()
+	if err != nil {
+		// The graph decoded and validated, so a failure here is the
+		// scheduler's, not the client's.
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	enc := tr.Span("encode")
+	defer enc.End()
+	if r.URL.Query().Get("format") == "gantt" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "heuristic %s on %q\n%s", name, g.Name(), schedule.Gantt(80))
+		return
+	}
+	resp := scheduleResponse{
+		Heuristic:   name,
+		Graph:       g.Name(),
+		Nodes:       g.NumNodes(),
+		SerialTime:  g.SerialTime(),
+		Makespan:    schedule.Makespan,
+		Procs:       schedule.NumProcs,
+		Speedup:     schedule.Speedup(),
+		Efficiency:  schedule.Efficiency(),
+		Assignments: make([]assignmentJSON, 0, len(schedule.ByNode)),
+	}
+	for _, a := range schedule.ByNode {
+		resp.Assignments = append(resp.Assignments, assignmentJSON{
+			Node: int(a.Node), Proc: a.Proc, Start: a.Start, Finish: a.Finish,
+		})
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		var tb bytes.Buffer
+		if err := tr.WriteJSON(&tb); err == nil {
+			resp.Trace = json.RawMessage(bytes.TrimSpace(tb.Bytes()))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	encJSON := json.NewEncoder(w)
+	encJSON.SetIndent("", "  ")
+	if err := encJSON.Encode(resp); err != nil {
+		// Headers are gone; nothing to do but note it in the metrics
+		// via the instrument wrapper's status (already 200).
+		return
+	}
+}
+
+// handleHeuristics lists the registered scheduler names.
+func (s *server) handleHeuristics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(heuristics.Names())
+}
+
+// handleMetrics serves the registry in the Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, "schedserve: "+msg, code)
+}

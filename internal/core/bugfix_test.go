@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+)
+
+// emptySched schedules any graph onto zero processors; only valid for
+// empty graphs, where it legitimately produces a zero makespan.
+type emptySched struct{}
+
+func (emptySched) Name() string { return "EMPTY" }
+func (emptySched) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return sched.NewPlacement(g.NumNodes()), nil
+}
+
+// TestEvaluateGraphZeroBest is the regression test for the Best == 0
+// "unset" sentinel: a graph whose best makespan is legitimately zero
+// (an empty graph in a custom corpus) must yield RelTime 0, not
+// NaN/±Inf from x/0 − 1.
+func TestEvaluateGraphZeroBest(t *testing.T) {
+	g := dag.New("empty")
+	rec, err := evaluateGraph(g, []heuristics.Scheduler{emptySched{}, emptySched{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != 0 {
+		t.Fatalf("Best = %d, want 0", rec.Best)
+	}
+	for i, m := range rec.ByHeur {
+		if math.IsNaN(m.RelTime) || math.IsInf(m.RelTime, 0) {
+			t.Fatalf("ByHeur[%d].RelTime = %v, want 0", i, m.RelTime)
+		}
+		if m.RelTime != 0 {
+			t.Fatalf("ByHeur[%d].RelTime = %v, want 0", i, m.RelTime)
+		}
+	}
+}
+
+// failSched errors on every graph and counts its invocations.
+type failSched struct{ calls *atomic.Int64 }
+
+func (failSched) Name() string { return "FAIL" }
+func (f failSched) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	f.calls.Add(1)
+	return nil, errors.New("failsched: induced failure")
+}
+
+// TestEvaluateShortCircuitsOnError is the regression test for the
+// dispatch loop: the first worker error must cancel outstanding
+// dispatch instead of feeding the whole corpus to schedulers that can
+// only fail.
+func TestEvaluateShortCircuitsOnError(t *testing.T) {
+	c := tinyCorpus(t, 7) // 60 sets x 1 graph
+	total := c.NumGraphs()
+	if total != 60 {
+		t.Fatalf("corpus has %d graphs, want 60", total)
+	}
+	var calls atomic.Int64
+	const workers = 2
+	_, err := Evaluate(c, Options{
+		Workers:   workers,
+		Factories: []func() heuristics.Scheduler{func() heuristics.Scheduler { return failSched{&calls} }},
+	})
+	if err == nil {
+		t.Fatal("Evaluate succeeded with an always-failing scheduler")
+	}
+	// At most the in-flight jobs (one per worker, unbuffered channel)
+	// plus a small race window can be scheduled after the first error;
+	// anywhere near the full corpus means dispatch was not cancelled.
+	if got := calls.Load(); got > int64(total)/2 {
+		t.Fatalf("failing factory was invoked %d times on a %d-graph corpus; dispatch did not short-circuit", got, total)
+	}
+}

@@ -12,10 +12,27 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"schedcomp/internal/corpus"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
+	"schedcomp/internal/obs"
+)
+
+// Testbed instruments. Per-worker counts are aggregated into a
+// distribution histogram rather than per-worker labels (worker ids are
+// unbounded across configurations — see the obs cardinality rules).
+var (
+	evalGraphs = obs.Default().Counter("core_eval_graphs_total",
+		"Graphs fully evaluated by the testbed workers.")
+	evalWorkers = obs.Default().Gauge("core_eval_workers",
+		"Worker goroutines used by the most recent Evaluate call.")
+	evalQueueWait = obs.Default().Histogram("core_eval_queue_wait_seconds",
+		"Time a worker spends waiting to receive its next graph.", obs.DefTimeBuckets)
+	evalWorkerGraphs = obs.Default().Histogram("core_eval_worker_graphs",
+		"Distribution of graphs processed per worker per Evaluate call.",
+		[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500})
 )
 
 // Measurement is one (graph, heuristic) outcome.
@@ -103,10 +120,18 @@ func Evaluate(c *corpus.Corpus, opts Options) (*Evaluation, error) {
 	type job struct{ set, idx int }
 	jobs := make(chan job)
 	errs := make(chan error, 1)
+	// done is closed when the first worker reports an error: the
+	// dispatcher stops feeding and the workers drain without
+	// evaluating, so a failing factory short-circuits instead of
+	// grinding through the whole corpus.
+	done := make(chan struct{})
+	var closeDone sync.Once
+	stop := func() { closeDone.Do(func() { close(done) }) }
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	evalWorkers.Set(int64(workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -116,22 +141,49 @@ func Evaluate(c *corpus.Corpus, opts Options) (*Evaluation, error) {
 			for i, f := range factories {
 				scheds[i] = f()
 			}
-			for j := range jobs {
+			enabled := obs.Default().Enabled()
+			var processed uint64
+			for {
+				var t0 time.Time
+				if enabled {
+					t0 = time.Now()
+				}
+				j, ok := <-jobs
+				if !ok {
+					break
+				}
+				if enabled {
+					evalQueueWait.Observe(time.Since(t0).Seconds())
+				}
+				select {
+				case <-done:
+					continue // error already recorded; drain without evaluating
+				default:
+				}
 				rec, err := evaluateGraph(c.Sets[j.set].Graphs[j.idx], scheds)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("set %d graph %d: %w", j.set, j.idx, err):
 					default:
 					}
+					stop()
 					continue
 				}
+				processed++
 				ev.Sets[j.set].Graphs[j.idx] = rec
 			}
+			evalGraphs.Add(processed)
+			evalWorkerGraphs.Observe(float64(processed))
 		}()
 	}
+dispatch:
 	for si := range c.Sets {
 		for gi := range c.Sets[si].Graphs {
-			jobs <- job{si, gi}
+			select {
+			case jobs <- job{si, gi}:
+			case <-done:
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
@@ -151,6 +203,11 @@ func evaluateGraph(g *dag.Graph, scheds []heuristics.Scheduler) (GraphRecord, er
 		SerialTime: g.SerialTime(),
 		ByHeur:     make([]Measurement, len(scheds)),
 	}
+	// Track "best seen" explicitly rather than treating Best == 0 as
+	// unset: a zero makespan is legitimate (e.g. an empty graph in a
+	// custom corpus) and must not poison RelTime with a division by
+	// zero. The first heuristic's makespan wins outright.
+	bestSet := false
 	for i, s := range scheds {
 		sc, err := heuristics.Run(s, g)
 		if err != nil {
@@ -163,12 +220,19 @@ func evaluateGraph(g *dag.Graph, scheds []heuristics.Scheduler) (GraphRecord, er
 			Speedup:      sc.Speedup(),
 			Efficiency:   sc.Efficiency(),
 		}
-		if rec.Best == 0 || sc.Makespan < rec.Best {
+		if !bestSet || sc.Makespan < rec.Best {
 			rec.Best = sc.Makespan
+			bestSet = true
 		}
 	}
 	for i := range rec.ByHeur {
 		m := &rec.ByHeur[i]
+		if rec.Best == 0 {
+			// Every makespan is >= Best, so a zero best means this
+			// heuristic also achieved zero: define RelTime as 0.
+			m.RelTime = 0
+			continue
+		}
 		m.RelTime = float64(m.ParallelTime)/float64(rec.Best) - 1
 	}
 	return rec, nil

@@ -1,6 +1,45 @@
 package dag
 
-import "schedcomp/internal/bitset"
+import (
+	"schedcomp/internal/bitset"
+	"schedcomp/internal/obs"
+)
+
+// cacheCounters pairs the hit/miss counters for one analysis kind.
+// The kind label set is the fixed list below — one value per memoized
+// analysis — per the obs cardinality rules.
+type cacheCounters struct{ hit, miss *obs.Counter }
+
+func newCacheCounters(kind string) cacheCounters {
+	reg := obs.Default()
+	l := obs.L("kind", kind)
+	return cacheCounters{
+		hit:  reg.Counter("dag_cache_hits_total", "Analysis results served from the per-graph memo.", l),
+		miss: reg.Counter("dag_cache_misses_total", "Analyses computed and memoized.", l),
+	}
+}
+
+var (
+	ccTopo     = newCacheCounters("topo")
+	ccPos      = newCacheCounters("pos")
+	ccBLComm   = newCacheCounters("blevels_comm")
+	ccBLNoComm = newCacheCounters("blevels_nocomm")
+	ccTLevels  = newCacheCounters("tlevels")
+	ccALAP     = newCacheCounters("alap")
+	ccCPLen    = newCacheCounters("cplen")
+	ccCP       = newCacheCounters("cp")
+	ccDesc     = newCacheCounters("desc")
+	ccAnc      = newCacheCounters("anc")
+)
+
+// count records one lookup outcome.
+func (cc cacheCounters) count(hit bool) {
+	if hit {
+		cc.hit.Inc()
+	} else {
+		cc.miss.Inc()
+	}
+}
 
 // Analysis cache. Every O(V+E) analysis the heuristics share — the
 // topological order and positions, b-levels with and without
@@ -78,6 +117,7 @@ func (g *Graph) ensureCache() *analysisCache {
 
 func (g *Graph) topoLocked() ([]NodeID, error) {
 	c := g.ensureCache()
+	ccTopo.count(c.hasTopo)
 	if !c.hasTopo {
 		c.topo, c.topoErr = g.computeTopoOrder()
 		c.hasTopo = true
@@ -87,6 +127,7 @@ func (g *Graph) topoLocked() ([]NodeID, error) {
 
 func (g *Graph) topoPositionsLocked() ([]int, error) {
 	c := g.ensureCache()
+	ccPos.count(c.pos != nil)
 	if c.pos == nil {
 		order, err := g.topoLocked()
 		if err != nil {
@@ -104,9 +145,12 @@ func (g *Graph) topoPositionsLocked() ([]int, error) {
 func (g *Graph) blevelsLocked(withComm bool) ([]int64, error) {
 	c := g.ensureCache()
 	memo := &c.blComm
+	cc := ccBLComm
 	if !withComm {
 		memo = &c.blNoComm
+		cc = ccBLNoComm
 	}
+	cc.count(*memo != nil)
 	if *memo == nil {
 		order, err := g.topoLocked()
 		if err != nil {
@@ -119,6 +163,7 @@ func (g *Graph) blevelsLocked(withComm bool) ([]int64, error) {
 
 func (g *Graph) tlevelsLocked() ([]int64, error) {
 	c := g.ensureCache()
+	ccTLevels.count(c.tl != nil)
 	if c.tl == nil {
 		order, err := g.topoLocked()
 		if err != nil {
@@ -131,6 +176,7 @@ func (g *Graph) tlevelsLocked() ([]int64, error) {
 
 func (g *Graph) criticalPathLengthLocked() (int64, error) {
 	c := g.ensureCache()
+	ccCPLen.count(c.hasCPLen)
 	if !c.hasCPLen {
 		lv, err := g.blevelsLocked(true)
 		if err != nil {
@@ -150,6 +196,7 @@ func (g *Graph) criticalPathLengthLocked() (int64, error) {
 
 func (g *Graph) alapLocked() ([]int64, error) {
 	c := g.ensureCache()
+	ccALAP.count(c.alap != nil)
 	if c.alap == nil {
 		lv, err := g.blevelsLocked(true)
 		if err != nil {
@@ -170,6 +217,7 @@ func (g *Graph) alapLocked() ([]int64, error) {
 
 func (g *Graph) criticalPathLocked() ([]NodeID, error) {
 	c := g.ensureCache()
+	ccCP.count(c.hasCP)
 	if !c.hasCP {
 		lv, err := g.blevelsLocked(true)
 		if err != nil {
@@ -183,6 +231,7 @@ func (g *Graph) criticalPathLocked() ([]NodeID, error) {
 
 func (g *Graph) descendantsLocked() ([]*bitset.Set, error) {
 	c := g.ensureCache()
+	ccDesc.count(c.desc != nil)
 	if c.desc == nil {
 		order, err := g.topoLocked()
 		if err != nil {
@@ -195,6 +244,7 @@ func (g *Graph) descendantsLocked() ([]*bitset.Set, error) {
 
 func (g *Graph) ancestorsLocked() ([]*bitset.Set, error) {
 	c := g.ensureCache()
+	ccAnc.count(c.anc != nil)
 	if c.anc == nil {
 		order, err := g.topoLocked()
 		if err != nil {

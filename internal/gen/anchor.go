@@ -5,6 +5,16 @@ import (
 
 	"schedcomp/internal/bitset"
 	"schedcomp/internal/dag"
+	"schedcomp/internal/obs"
+)
+
+// Closure-maintenance instruments: cheap incremental patches vs full
+// O(V·E/64) rebuilds inside the out-degree adjustment loop.
+var (
+	genClosurePatches = obs.Default().Counter("gen_closure_patch_total",
+		"Reachability closures repaired incrementally after an edge insert.")
+	genClosureRebuilds = obs.Default().Counter("gen_closure_rebuild_total",
+		"Reachability closures rebuilt in full after an edge removal.")
 )
 
 // adjustAnchor inserts and removes random edges until the mode of the
@@ -97,6 +107,7 @@ func (a *adjuster) refresh() error {
 // fixed topological order backwards. Edge removals never invalidate a
 // topological order, so a.byPo stays usable for the whole adjustment.
 func (a *adjuster) recomputeDesc() {
+	genClosureRebuilds.Inc()
 	for i := len(a.byPo) - 1; i >= 0; i-- {
 		x := a.byPo[i]
 		d := a.desc[x]
@@ -185,6 +196,7 @@ func (a *adjuster) addToLater(u dag.NodeID, sameBranch bool) bool {
 		// cannot be an ancestor of u — the edge goes forward in the
 		// order — so desc[v] is never mutated mid-loop.)
 		if !reachable {
+			genClosurePatches.Inc()
 			for x := range a.desc {
 				if dag.NodeID(x) == u || a.desc[x].Contains(int(u)) {
 					a.desc[x].Add(int(v))

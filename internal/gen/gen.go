@@ -20,6 +20,20 @@ import (
 	"math/rand"
 
 	"schedcomp/internal/dag"
+	"schedcomp/internal/obs"
+)
+
+// Generator instruments: how many graphs the process produced, how
+// often a draw had to be abandoned, and how many extra MustGenerate
+// attempts the retry loop burned (Canon et al. argue generator
+// behaviour must itself be measured, not assumed).
+var (
+	genGraphs = obs.Default().Counter("gen_graphs_total",
+		"Graphs successfully generated.")
+	genGiveups = obs.Default().Counter("gen_giveups_total",
+		"Generation draws abandoned because the class could not be reached.")
+	genRetries = obs.Default().Counter("gen_retries_total",
+		"MustGenerate attempts beyond the first.")
 )
 
 // Band is a granularity interval. Hi <= 0 means unbounded above.
@@ -154,14 +168,21 @@ func Generate(p Params, rng *rand.Rand) (*dag.Graph, error) {
 	}
 	g, sh := materialize(p, rng)
 	if err := adjustAnchor(g, p.Anchor, sh.branch, p.descendantBias(), rng); err != nil {
+		if errors.Is(err, ErrGaveUp) {
+			genGiveups.Inc()
+		}
 		return nil, err
 	}
 	if err := assignWeights(g, p, sh, rng); err != nil {
+		if errors.Is(err, ErrGaveUp) {
+			genGiveups.Inc()
+		}
 		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("gen: produced invalid graph: %w", err)
 	}
+	genGraphs.Inc()
 	return g, nil
 }
 
@@ -171,6 +192,9 @@ func Generate(p Params, rng *rand.Rand) (*dag.Graph, error) {
 // independent draw).
 func MustGenerate(p Params, seed int64) *dag.Graph {
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			genRetries.Inc()
+		}
 		rng := rand.New(rand.NewSource(mix(seed, int64(attempt))))
 		g, err := Generate(p, rng)
 		if err == nil {

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"schedcomp/internal/dag"
+	"schedcomp/internal/obs"
 	"schedcomp/internal/sched"
 )
 
@@ -24,20 +26,72 @@ type Scheduler interface {
 	Schedule(g *dag.Graph) (*sched.Placement, error)
 }
 
+// runMetrics holds one heuristic's obs instruments. Per-heuristic
+// labels are bounded by the registry of scheduler names, satisfying
+// the obs cardinality rules.
+type runMetrics struct {
+	seconds      *obs.Histogram
+	schedules    *obs.Counter
+	failSchedule *obs.Counter
+	failBuild    *obs.Counter
+	failValidate *obs.Counter
+}
+
+// runMetricsCache maps heuristic name -> *runMetrics so the Run hot
+// path does one lock-free load instead of a registry lookup.
+var runMetricsCache sync.Map
+
+func metricsFor(name string) *runMetrics {
+	if m, ok := runMetricsCache.Load(name); ok {
+		return m.(*runMetrics)
+	}
+	reg := obs.Default()
+	heur := obs.L("heuristic", name)
+	m := &runMetrics{
+		seconds: reg.Histogram("sched_schedule_seconds",
+			"Time to schedule, build and validate one graph.", obs.DefTimeBuckets, heur),
+		schedules: reg.Counter("sched_schedules_total",
+			"Validated schedules produced.", heur),
+		failSchedule: reg.Counter("sched_run_failures_total",
+			"Run failures by pipeline stage.", heur, obs.L("stage", "schedule")),
+		failBuild: reg.Counter("sched_run_failures_total",
+			"Run failures by pipeline stage.", heur, obs.L("stage", "build")),
+		failValidate: reg.Counter("sched_run_failures_total",
+			"Run failures by pipeline stage.", heur, obs.L("stage", "validate")),
+	}
+	// The registry lookups above are idempotent, so a racing
+	// initializer builds an identical wrapper; keep whichever landed.
+	got, _ := runMetricsCache.LoadOrStore(name, m)
+	return got.(*runMetrics)
+}
+
 // Run schedules g with s, builds the timed schedule, and validates it
 // against the execution model.
 func Run(s Scheduler, g *dag.Graph) (*sched.Schedule, error) {
+	m := metricsFor(s.Name())
+	enabled := obs.Default().Enabled()
+	var t0 time.Time
+	if enabled {
+		t0 = time.Now()
+	}
 	pl, err := s.Schedule(g)
 	if err != nil {
+		m.failSchedule.Inc()
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
 	sc, err := sched.Build(g, pl)
 	if err != nil {
+		m.failBuild.Inc()
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
 	if err := sc.Validate(); err != nil {
+		m.failValidate.Inc()
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
+	if enabled {
+		m.seconds.Observe(time.Since(t0).Seconds())
+	}
+	m.schedules.Inc()
 	return sc, nil
 }
 

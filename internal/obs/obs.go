@@ -1,0 +1,424 @@
+// Package obs is the testbed's dependency-free observability layer:
+// atomic counters and gauges, fixed-bucket histograms, and lightweight
+// hierarchical spans (span.go), all hanging off a Registry.
+//
+// The contract every instrumented hot path relies on:
+//
+//   - A disabled registry is a no-op. Counter.Add, Gauge.Set and
+//     Histogram.Observe pay exactly one atomic load and never allocate,
+//     so instrumentation can stay in place permanently — schedule
+//     outputs and golden hashes are identical whether the registry is
+//     on or off.
+//   - Enabled updates are lock-free (atomic add / CAS) and never
+//     allocate either, so concurrent workers can hammer the same
+//     instrument without contention beyond the cache line.
+//   - Instrument lookup (Registry.Counter etc.) takes a mutex and may
+//     allocate; callers create instruments once at init time or cache
+//     them, never per operation.
+//
+// Metric names follow Prometheus conventions: snake_case with a
+// subsystem prefix (sched_, core_, gen_, dag_, serve_), counters end
+// in _total, and time histograms end in _seconds. Labels are constant
+// per instrument and must come from small fixed sets (heuristic names,
+// analysis kinds, HTTP status classes) — never graph names, node IDs
+// or anything unbounded.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key=value pair attached to an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// desc is the immutable identity of one instrument.
+type desc struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels string // rendered `k="v",k2="v2"` form, "" when unlabeled
+}
+
+// key uniquely identifies the instrument within a registry.
+func (d desc) key() string { return d.name + "{" + d.labels + "}" }
+
+// Registry holds a set of named instruments and an enabled flag the
+// instruments consult on every update. The zero value is NOT usable;
+// call NewRegistry. Most code uses the package-level Default registry,
+// which starts disabled.
+type Registry struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	byKey   map[string]interface{} // *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]interface{})}
+}
+
+var def = NewRegistry()
+
+// Default returns the process-wide registry the internal packages
+// instrument against. It starts disabled.
+func Default() *Registry { return def }
+
+// SetEnabled turns the registry's instruments on or off.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether updates are currently recorded.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// renderLabels validates and renders a label set in the caller's
+// order. Keys must be non-empty and unique.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if l.Key == "" {
+			panic("obs: empty label key")
+		}
+		for j := 0; j < i; j++ {
+			if labels[j].Key == l.Key {
+				panic("obs: duplicate label key " + l.Key)
+			}
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// lookup returns the instrument under d's key, creating it with mk on
+// first use. Re-registering the same name with a different kind is a
+// programming error and panics.
+func (r *Registry) lookup(d desc, mk func() interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[d.key()]; ok {
+		if got := kindOf(m); got != d.kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s, was %s", d.name, d.kind, got))
+		}
+		return m
+	}
+	m := mk()
+	r.byKey[d.key()] = m
+	return m
+}
+
+func kindOf(m interface{}) metricKind {
+	switch m.(type) {
+	case *Counter:
+		return kindCounter
+	case *Gauge:
+		return kindGauge
+	default:
+		return kindHistogram
+	}
+}
+
+// Counter is a monotonically increasing uint64. The zero value of the
+// pointer (nil) is a valid no-op instrument.
+type Counter struct {
+	v  atomic.Uint64
+	on *atomic.Bool
+	d  desc
+}
+
+// Counter returns (creating on first use) the counter with the given
+// name and constant labels. Idempotent: the same identity yields the
+// same instrument.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	d := desc{name: name, help: help, kind: kindCounter, labels: renderLabels(labels)}
+	return r.lookup(d, func() interface{} { return &Counter{on: &r.enabled, d: d} }).(*Counter)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op when the registry is disabled or c is nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 that can go up and down.
+type Gauge struct {
+	v  atomic.Int64
+	on *atomic.Bool
+	d  desc
+}
+
+// Gauge returns (creating on first use) the gauge with the given name
+// and constant labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	d := desc{name: name, help: help, kind: kindGauge, labels: renderLabels(labels)}
+	return r.lookup(d, func() interface{} { return &Gauge{on: &r.enabled, d: d} }).(*Gauge)
+}
+
+// Set stores v. No-op when the registry is disabled or g is nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// ascending; an implicit +Inf bucket is always present) and tracks the
+// running sum.
+type Histogram struct {
+	on     *atomic.Bool
+	d      desc
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1, last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// DefTimeBuckets is the default bucket layout for _seconds histograms:
+// 10µs to ~10s, roughly ×3 per step.
+var DefTimeBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10,
+}
+
+// LinearBuckets returns count upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count < 1 {
+		panic("obs: LinearBuckets needs count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Histogram returns (creating on first use) the histogram with the
+// given name, labels, and bucket upper bounds. buckets must be sorted
+// ascending and non-empty; a trailing +Inf is optional (one is always
+// maintained internally). Re-registering with different buckets
+// panics.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram " + name + " buckets not strictly ascending")
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], +1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	d := desc{name: name, help: help, kind: kindHistogram, labels: renderLabels(labels)}
+	h := r.lookup(d, func() interface{} {
+		upper := append([]float64(nil), buckets...)
+		return &Histogram{on: &r.enabled, d: d, upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	}).(*Histogram)
+	if len(h.upper) != len(buckets) {
+		panic("obs: histogram " + name + " re-registered with different buckets")
+	}
+	return h
+}
+
+// Observe records one value. No-op when the registry is disabled or h
+// is nil; never allocates.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	// Binary search for the first upper bound >= v; the +Inf bucket is
+	// counts[len(upper)].
+	lo, hi := 0, len(h.upper)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.upper[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// WritePrometheus writes every instrument in the Prometheus text
+// exposition format, sorted by name then label set, so the output is
+// deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.byKey))
+	for k := range r.byKey { //lint:sorted
+		keys = append(keys, k)
+	}
+	metrics := make([]interface{}, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		metrics[i] = r.byKey[k]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	lastName := ""
+	for _, m := range metrics {
+		var d desc
+		switch mm := m.(type) {
+		case *Counter:
+			d = mm.d
+		case *Gauge:
+			d = mm.d
+		case *Histogram:
+			d = mm.d
+		}
+		if d.name != lastName {
+			if d.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", d.name, d.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", d.name, d.kind)
+			lastName = d.name
+		}
+		switch mm := m.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%s %d\n", seriesName(d.name, d.labels), mm.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%s %d\n", seriesName(d.name, d.labels), mm.Value())
+		case *Histogram:
+			writeHistogram(&b, mm)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seriesName renders name{labels} (or the bare name when unlabeled).
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// withLe appends the le label to an existing (possibly empty) set.
+func withLe(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func writeHistogram(b *strings.Builder, h *Histogram) {
+	cum := uint64(0)
+	for i, up := range h.upper {
+		cum += h.counts[i].Load()
+		le := strconv.FormatFloat(up, 'g', -1, 64)
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", h.d.name, withLe(h.d.labels, le), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", h.d.name, withLe(h.d.labels, "+Inf"), h.Count())
+	fmt.Fprintf(b, "%s_sum%s %s\n", h.d.name, braced(h.d.labels), strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", h.d.name, braced(h.d.labels), h.Count())
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_gauge", "a gauge")
+
+	// Disabled: updates are dropped.
+	c.Inc()
+	g.Set(7)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("disabled registry recorded: counter=%d gauge=%d", c.Value(), g.Value())
+	}
+
+	r.SetEnabled(true)
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+
+	// Idempotent lookup returns the same instrument.
+	if r.Counter("test_total", "a counter") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("test_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+3+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Bucket counts: <=1: 2 (0.5, 1), <=2: 1 (1.5), <=4: 1 (3), +Inf: 1 (100).
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("race_total", "")
+	g := r.Gauge("race_gauge", "")
+	h := r.Histogram("race_seconds", "", DefTimeBuckets)
+
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*each {
+		t.Fatalf("bucket total = %d, want %d", cum, workers*each)
+	}
+}
+
+// TestDisabledFastPathAllocs is the no-op contract: a disabled
+// registry's hot-path updates must not allocate at all.
+func TestDisabledFastPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_seconds", "", DefTimeBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(0.01)
+	}); n != 0 {
+		t.Fatalf("disabled instrument updates allocated %v allocs/op, want 0", n)
+	}
+	// Nil-span operations (the disabled-trace path) must also be free.
+	var sp *Span
+	var tr *Trace
+	if n := testing.AllocsPerRun(1000, func() {
+		s2 := tr.Span("x")
+		s3 := sp.Span("y")
+		s2.End()
+		s3.End()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("nil span ops allocated %v allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledFastPathAllocs: enabled updates stay alloc-free too.
+func TestEnabledFastPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("alloc_on_total", "")
+	h := r.Histogram("alloc_on_seconds", "", DefTimeBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.01)
+	}); n != 0 {
+		t.Fatalf("enabled instrument updates allocated %v allocs/op, want 0", n)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("demo_total", "demo counter", L("kind", "a")).Add(3)
+	r.Counter("demo_total", "demo counter", L("kind", "b")).Add(1)
+	r.Gauge("demo_gauge", "demo gauge").Set(-4)
+	h := r.Histogram("demo_seconds", "demo histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE demo_total counter",
+		`demo_total{kind="a"} 3`,
+		`demo_total{kind="b"} 1`,
+		"# TYPE demo_gauge gauge",
+		"demo_gauge -4",
+		"# TYPE demo_seconds histogram",
+		`demo_seconds_bucket{le="0.1"} 1`,
+		`demo_seconds_bucket{le="1"} 2`,
+		`demo_seconds_bucket{le="+Inf"} 3`,
+		"demo_seconds_sum 5.55",
+		"demo_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The two labeled counters must share one HELP/TYPE header.
+	if strings.Count(out, "# TYPE demo_total counter") != 1 {
+		t.Fatalf("duplicated TYPE header:\n%s", out)
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("WritePrometheus not deterministic")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("clash_total", "")
+}
+
+func TestHistogramLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("lab_seconds", "", []float64{1}, L("heuristic", "MCP"))
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lab_seconds_bucket{heuristic="MCP",le="1"} 1`,
+		`lab_seconds_sum{heuristic="MCP"} 0.5`,
+		`lab_seconds_count{heuristic="MCP"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

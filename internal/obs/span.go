@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one run's hierarchical span record. Spans are timestamped
+// with monotonic offsets from the trace start, so wall-clock
+// adjustments never produce negative durations.
+//
+// All methods are safe on a nil *Trace and nil *Span (they no-op and
+// return nil), so instrumented code can thread an optional trace
+// through without guarding every call site. Span creation allocates;
+// traces are for per-run phase accounting, not per-task inner loops.
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	roots []*Span
+}
+
+// Span is one timed phase. End it exactly once; child spans may be
+// started from it while it is open.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Duration // offset from trace start
+	end      time.Duration // -1 while open
+	children []*Span
+}
+
+// NewTrace starts an empty trace clocked from now.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Name returns the trace name ("" for nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Span starts a new root-level span.
+func (t *Trace) Span(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Since(t.start), end: -1}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span starts a child span under s.
+func (s *Span) Span(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Since(s.tr.start), end: -1}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending an already-ended span is a no-op (the
+// first End wins), so defer sp.End() composes with early explicit
+// ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.tr.start)
+	s.tr.mu.Lock()
+	if s.end < 0 {
+		s.end = now
+	}
+	s.tr.mu.Unlock()
+}
+
+// Duration returns the span's length (elapsed-so-far while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.durLocked()
+}
+
+func (s *Span) durLocked() time.Duration {
+	if s.end < 0 {
+		return time.Since(s.tr.start) - s.start
+	}
+	return s.end - s.start
+}
+
+// jsonSpan is the wire form of one span.
+type jsonSpan struct {
+	Name     string     `json:"name"`
+	StartUs  int64      `json:"start_us"`
+	DurUs    int64      `json:"dur_us"`
+	Open     bool       `json:"open,omitempty"`
+	Children []jsonSpan `json:"children,omitempty"`
+}
+
+type jsonTrace struct {
+	Name  string     `json:"name"`
+	Spans []jsonSpan `json:"spans"`
+}
+
+func (s *Span) toJSON() jsonSpan {
+	js := jsonSpan{
+		Name:    s.name,
+		StartUs: s.start.Microseconds(),
+		DurUs:   s.durLocked().Microseconds(),
+		Open:    s.end < 0,
+	}
+	for _, c := range s.children {
+		js.Children = append(js.Children, c.toJSON())
+	}
+	return js
+}
+
+// WriteJSON writes the trace as one JSON object.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	t.mu.Lock()
+	jt := jsonTrace{Name: t.name}
+	for _, s := range t.roots {
+		jt.Spans = append(jt.Spans, s.toJSON())
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// Tree renders the trace as an indented flame-style text tree: one
+// line per span with its duration and share of its parent.
+func (t *Trace) Tree() string {
+	if t == nil {
+		return "(no trace)\n"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, s := range t.roots {
+		total += s.durLocked()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s — %d root span(s), %v total\n", t.name, len(t.roots), total.Round(time.Microsecond))
+	for _, s := range t.roots {
+		s.tree(&b, 1, total)
+	}
+	return b.String()
+}
+
+func (s *Span) tree(b *strings.Builder, depth int, parent time.Duration) {
+	d := s.durLocked()
+	pct := ""
+	if parent > 0 {
+		pct = fmt.Sprintf(" %5.1f%%", 100*float64(d)/float64(parent))
+	}
+	open := ""
+	if s.end < 0 {
+		open = " (open)"
+	}
+	fmt.Fprintf(b, "%s%-*s %12v%s%s\n", strings.Repeat("  ", depth), 32-2*depth, s.name, d.Round(time.Microsecond), pct, open)
+	for _, c := range s.children {
+		c.tree(b, depth+1, d)
+	}
+}

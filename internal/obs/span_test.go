@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace("run")
+	a := tr.Span("phase-a")
+	a1 := a.Span("step-1")
+	a1.End()
+	a2 := a.Span("step-2")
+	a2.End()
+	a.End()
+	b := tr.Span("phase-b")
+	b.End()
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Name  string `json:"name"`
+		Spans []struct {
+			Name     string `json:"name"`
+			DurUs    int64  `json:"dur_us"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("bad trace JSON: %v\n%s", err, sb.String())
+	}
+	if got.Name != "run" || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got.Spans[0].Name != "phase-a" || len(got.Spans[0].Children) != 2 {
+		t.Fatalf("phase-a = %+v", got.Spans[0])
+	}
+	if got.Spans[0].Children[0].Name != "step-1" || got.Spans[0].Children[1].Name != "step-2" {
+		t.Fatalf("children = %+v", got.Spans[0].Children)
+	}
+	if got.Spans[0].DurUs < 0 {
+		t.Fatalf("negative duration %d", got.Spans[0].DurUs)
+	}
+
+	tree := tr.Tree()
+	for _, want := range []string{"trace run", "phase-a", "step-1", "step-2", "phase-b"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestSpanDoubleEndAndDuration(t *testing.T) {
+	tr := NewTrace("d")
+	s := tr.Span("work")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d := s.Duration()
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+	time.Sleep(time.Millisecond)
+	s.End() // second End must not move the boundary
+	if got := s.Duration(); got != d {
+		t.Fatalf("double End moved duration: %v -> %v", d, got)
+	}
+}
+
+func TestNilTraceAndSpan(t *testing.T) {
+	var tr *Trace
+	sp := tr.Span("x")
+	if sp != nil {
+		t.Fatal("nil trace produced a span")
+	}
+	child := sp.Span("y")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	sp.End()
+	child.End()
+	if tr.Name() != "" || sp.Duration() != 0 {
+		t.Fatal("nil accessors not zero")
+	}
+	if tr.Tree() != "(no trace)\n" {
+		t.Fatalf("nil tree = %q", tr.Tree())
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "{}" {
+		t.Fatalf("nil JSON = %q", sb.String())
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("conc")
+	root := tr.Span("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := root.Span("child")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), `"child"`); got != 8*200 {
+		t.Fatalf("recorded %d child spans, want %d", got, 8*200)
+	}
+}
+
+func TestOpenSpanMarked(t *testing.T) {
+	tr := NewTrace("open")
+	tr.Span("never-ended")
+	tree := tr.Tree()
+	if !strings.Contains(tree, "(open)") {
+		t.Fatalf("open span not marked:\n%s", tree)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"open":true`) {
+		t.Fatalf("open span not in JSON: %s", sb.String())
+	}
+}

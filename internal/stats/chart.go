@@ -22,9 +22,15 @@ func Chart(title string, xlabels []string, series []Series, height int) string {
 	if len(xlabels) == 0 || len(series) == 0 {
 		return title + "\n(no data)\n"
 	}
+	// Non-finite values (NaN/±Inf from degenerate upstream ratios) are
+	// excluded from the range and never plotted: a NaN would poison the
+	// axis labels and an Inf row index would be out of range.
 	min, max := math.Inf(1), math.Inf(-1)
 	for _, s := range series {
 		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			if v < min {
 				min = v
 			}
@@ -33,7 +39,7 @@ func Chart(title string, xlabels []string, series []Series, height int) string {
 			}
 		}
 	}
-	if min > 0 {
+	if min > 0 || math.IsInf(min, 1) {
 		min = 0
 	}
 	if max <= min {
@@ -46,9 +52,23 @@ func Chart(title string, xlabels []string, series []Series, height int) string {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", width))
 	}
+	// Both denominators are guarded: max > min always holds after the
+	// clamps above, and rows is >= 1 even if the height clamp is ever
+	// relaxed. The result is clamped so a rounding edge case can never
+	// index outside the grid.
+	rows := float64(height - 1)
+	if rows < 1 {
+		rows = 1
+	}
 	rowOf := func(v float64) int {
 		f := (v - min) / (max - min)
-		r := int(math.Round(f * float64(height-1)))
+		r := int(math.Round(f * rows))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
 		return height - 1 - r
 	}
 	colOf := func(x int) int { return x*colWidth + colWidth/2 }
@@ -61,6 +81,9 @@ func Chart(title string, xlabels []string, series []Series, height int) string {
 		for x, v := range s.Values {
 			if x >= len(xlabels) {
 				break
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
 			}
 			r, c := rowOf(v), colOf(x)
 			switch grid[r][c] {
@@ -77,7 +100,7 @@ func Chart(title string, xlabels []string, series []Series, height int) string {
 	b.WriteByte('\n')
 	labelW := 10
 	for r := 0; r < height; r++ {
-		v := max - (max-min)*float64(r)/float64(height-1)
+		v := max - (max-min)*float64(r)/rows
 		fmt.Fprintf(&b, "%*.2f |%s\n", labelW, v, string(grid[r]))
 	}
 	b.WriteString(strings.Repeat(" ", labelW+1) + "+" + strings.Repeat("-", width) + "\n")

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestChartDegenerateInputs drives Chart through the degenerate shapes
+// an arbitrary corpus can produce — NaN/Inf ratios, constant and
+// negative ranges, tiny heights — and asserts it neither panics nor
+// emits non-finite axis labels.
+func TestChartDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		xlabels []string
+		series  []Series
+		height  int
+	}{
+		{"height-one", []string{"a", "b"}, []Series{{Name: "S", Values: []float64{1, 2}}}, 1},
+		{"height-zero", []string{"a"}, []Series{{Name: "S", Values: []float64{5}}}, 0},
+		{"negative-height", []string{"a"}, []Series{{Name: "S", Values: []float64{5}}}, -3},
+		{"all-equal", []string{"a", "b", "c"}, []Series{{Name: "S", Values: []float64{7, 7, 7}}}, 6},
+		{"all-equal-negative", []string{"a", "b"}, []Series{{Name: "S", Values: []float64{-3, -3}}}, 6},
+		{"nan-values", []string{"a", "b", "c"}, []Series{{Name: "S", Values: []float64{1, math.NaN(), 2}}}, 6},
+		{"all-nan", []string{"a", "b"}, []Series{{Name: "S", Values: []float64{math.NaN(), math.NaN()}}}, 6},
+		{"pos-inf", []string{"a", "b"}, []Series{{Name: "S", Values: []float64{1, math.Inf(1)}}}, 6},
+		{"neg-inf", []string{"a", "b"}, []Series{{Name: "S", Values: []float64{math.Inf(-1), 1}}}, 6},
+		{"mixed-inf-nan", []string{"a"}, []Series{{Name: "S", Values: []float64{math.Inf(1), math.Inf(-1), math.NaN()}}}, 4},
+		{"empty-values", []string{"a", "b"}, []Series{{Name: "S", Values: nil}}, 6},
+		{"more-values-than-labels", []string{"a"}, []Series{{Name: "S", Values: []float64{1, 2, 3, 4}}}, 6},
+		{"many-series-one-point", []string{"a"}, []Series{
+			{Name: "A", Values: []float64{1}}, {Name: "B", Values: []float64{1}},
+		}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := Chart("Fig "+tc.name, tc.xlabels, tc.series, tc.height)
+			if out == "" {
+				t.Fatal("empty chart")
+			}
+			if !strings.Contains(out, "Fig "+tc.name) {
+				t.Fatalf("missing title:\n%s", out)
+			}
+			// The title echoes the case name, so only check the body
+			// (axis labels and grid) for non-finite leakage.
+			_, body, _ := strings.Cut(out, "\n")
+			for _, bad := range []string{"NaN", "nan", "Inf", "inf"} {
+				if strings.Contains(body, bad) {
+					t.Fatalf("chart contains %q:\n%s", bad, out)
+				}
+			}
+		})
+	}
+}
+
+// TestChartFiniteValuesStillPlotted: the NaN guard must not drop the
+// finite points of a series that also contains non-finite ones.
+func TestChartFiniteValuesStillPlotted(t *testing.T) {
+	out := Chart("Fig", []string{"a", "b"}, []Series{{Name: "Solo", Values: []float64{1, math.NaN()}}}, 6)
+	// The first series plots with marker 'C'; the finite point must
+	// land on the grid even though its sibling value is NaN.
+	if !strings.Contains(out, "|      C") || !strings.Contains(out, "legend: C=Solo") {
+		t.Fatalf("finite point not plotted:\n%s", out)
+	}
+}
