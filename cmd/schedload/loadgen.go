@@ -1,0 +1,345 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+	"schedcomp/internal/stats"
+)
+
+// loadConfig parameterizes one load run.
+type loadConfig struct {
+	Addr      string
+	RPS       float64
+	Conc      int
+	Dur       time.Duration
+	Heuristic string
+	Batch     int
+	Seed      int64
+	MinNodes  int
+	MaxNodes  int
+}
+
+// Report aggregates one load run. Serialized as the CI artifact.
+type Report struct {
+	Heuristic          string  `json:"heuristic"`
+	Batch              int     `json:"batch"`
+	Clients            int     `json:"clients"`
+	DurationSeconds    float64 `json:"duration_seconds"`
+	Requests           int     `json:"requests"`
+	Items              int     `json:"items"`
+	OK                 int     `json:"ok"`
+	Shed               int     `json:"shed"`
+	Timeouts           int     `json:"timeouts"`
+	TransportErrors    int     `json:"transport_errors"`
+	ValidationFailures int     `json:"validation_failures"`
+	ShedRate           float64 `json:"shed_rate"`
+	ItemsPerSecond     float64 `json:"items_per_second"`
+	LatencyP50Ms       float64 `json:"latency_p50_ms"`
+	LatencyP90Ms       float64 `json:"latency_p90_ms"`
+	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+	LatencyMaxMs       float64 `json:"latency_max_ms"`
+}
+
+// Print writes the human-readable summary.
+func (r *Report) Print(w io.Writer) {
+	mode := "single"
+	if r.Batch > 1 {
+		mode = fmt.Sprintf("batch=%d", r.Batch)
+	}
+	fmt.Fprintf(w, "schedload: %s %s, %d clients, %.1fs\n", r.Heuristic, mode, r.Clients, r.DurationSeconds)
+	fmt.Fprintf(w, "  requests   %d (%d items, %.1f items/s)\n", r.Requests, r.Items, r.ItemsPerSecond)
+	fmt.Fprintf(w, "  ok         %d\n", r.OK)
+	fmt.Fprintf(w, "  shed       %d (rate %.1f%%)\n", r.Shed, 100*r.ShedRate)
+	fmt.Fprintf(w, "  timeouts   %d\n", r.Timeouts)
+	fmt.Fprintf(w, "  errors     %d transport, %d validation\n", r.TransportErrors, r.ValidationFailures)
+	fmt.Fprintf(w, "  latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		r.LatencyP50Ms, r.LatencyP90Ms, r.LatencyP99Ms, r.LatencyMaxMs)
+}
+
+// assignment mirrors the server's wire format.
+type assignment struct {
+	Node   int   `json:"node"`
+	Proc   int   `json:"proc"`
+	Start  int64 `json:"start"`
+	Finish int64 `json:"finish"`
+}
+
+// scheduleBody is the subset of the /schedule response (and of one
+// batch NDJSON line) validation needs.
+type scheduleBody struct {
+	Index       int          `json:"index"`
+	Error       string       `json:"error"`
+	Makespan    int64        `json:"makespan"`
+	Assignments []assignment `json:"assignments"`
+}
+
+// checkSchedule rebuilds the placement the server returned and
+// re-times it under the execution model: the response is only counted
+// OK if the schedule validates and the server's makespan matches.
+func checkSchedule(g *dag.Graph, body scheduleBody) error {
+	if len(body.Assignments) != g.NumNodes() {
+		return fmt.Errorf("%d assignments for %d nodes", len(body.Assignments), g.NumNodes())
+	}
+	as := append([]assignment(nil), body.Assignments...)
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Proc != as[j].Proc {
+			return as[i].Proc < as[j].Proc
+		}
+		return as[i].Start < as[j].Start
+	})
+	pl := sched.NewPlacement(g.NumNodes())
+	for _, a := range as {
+		if a.Node < 0 || a.Node >= g.NumNodes() {
+			return fmt.Errorf("assignment names node %d of %d", a.Node, g.NumNodes())
+		}
+		pl.Assign(dag.NodeID(a.Node), a.Proc)
+	}
+	rebuilt, err := sched.Build(g, pl)
+	if err != nil {
+		return err
+	}
+	if err := rebuilt.Validate(); err != nil {
+		return err
+	}
+	if rebuilt.Makespan != body.Makespan {
+		return fmt.Errorf("server makespan %d, rebuilt %d", body.Makespan, rebuilt.Makespan)
+	}
+	return nil
+}
+
+// tally is the shared, mutex-guarded run accumulator.
+type tally struct {
+	mu        sync.Mutex
+	report    Report
+	latencies []float64 // milliseconds, one per HTTP request
+}
+
+func (a *tally) addLatency(d time.Duration) {
+	a.mu.Lock()
+	a.latencies = append(a.latencies, float64(d)/float64(time.Millisecond))
+	a.report.Requests++
+	a.mu.Unlock()
+}
+
+func (a *tally) count(f func(r *Report)) {
+	a.mu.Lock()
+	f(&a.report)
+	a.mu.Unlock()
+}
+
+// runLoad generates the graph population, runs the clients, and
+// assembles the report.
+func runLoad(cfg loadConfig) (*Report, error) {
+	if cfg.Conc < 1 {
+		cfg.Conc = 1
+	}
+	if cfg.Batch < 0 {
+		cfg.Batch = 0
+	}
+	c, err := corpus.Generate(corpus.Spec{
+		Seed: cfg.Seed, GraphsPerSet: 1, MinNodes: cfg.MinNodes, MaxNodes: cfg.MaxNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var graphs []*dag.Graph
+	var bodies [][]byte
+	for _, set := range c.Sets {
+		for _, g := range set.Graphs {
+			data, err := json.Marshal(g)
+			if err != nil {
+				return nil, err
+			}
+			graphs = append(graphs, g)
+			bodies = append(bodies, data)
+		}
+	}
+
+	// Rate limiting: a shared token stream at the target rate. The
+	// buffer lets a brief stall catch up without a thundering herd.
+	var tokens chan struct{}
+	stopPacer := make(chan struct{})
+	if cfg.RPS > 0 {
+		tokens = make(chan struct{}, cfg.Conc)
+		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					select {
+					case tokens <- struct{}{}:
+					default:
+					}
+				case <-stopPacer:
+					return
+				}
+			}
+		}()
+	}
+
+	acc := &tally{}
+	client := &http.Client{Timeout: 60 * time.Second}
+	deadline := time.Now().Add(cfg.Dur)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conc; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				if cfg.Batch > 1 {
+					doBatch(client, cfg, rng, graphs, bodies, acc)
+				} else {
+					doSingle(client, cfg, rng, graphs, bodies, acc)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopPacer)
+	elapsed := time.Since(t0)
+
+	rep := acc.report
+	rep.Heuristic = cfg.Heuristic
+	rep.Batch = cfg.Batch
+	rep.Clients = cfg.Conc
+	rep.DurationSeconds = elapsed.Seconds()
+	if rep.Items > 0 {
+		rep.ItemsPerSecond = float64(rep.Items) / elapsed.Seconds()
+	}
+	if n := rep.OK + rep.Shed; n > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(n+rep.Timeouts)
+	}
+	if len(acc.latencies) > 0 {
+		rep.LatencyP50Ms = stats.Quantile(acc.latencies, 0.50)
+		rep.LatencyP90Ms = stats.Quantile(acc.latencies, 0.90)
+		rep.LatencyP99Ms = stats.Quantile(acc.latencies, 0.99)
+		_, max := stats.MinMax(acc.latencies)
+		rep.LatencyMaxMs = max
+	}
+	return &rep, nil
+}
+
+func doSingle(client *http.Client, cfg loadConfig, rng *rand.Rand, graphs []*dag.Graph, bodies [][]byte, acc *tally) {
+	i := rng.Intn(len(graphs))
+	t0 := time.Now()
+	resp, err := client.Post(cfg.Addr+"/schedule?heuristic="+cfg.Heuristic, "application/json", bytes.NewReader(bodies[i]))
+	if err != nil {
+		acc.count(func(r *Report) { r.Requests++; r.Items++; r.TransportErrors++ })
+		return
+	}
+	defer resp.Body.Close()
+	acc.addLatency(time.Since(t0))
+	acc.count(func(r *Report) { r.Items++ })
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var body scheduleBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			acc.count(func(r *Report) { r.ValidationFailures++ })
+			return
+		}
+		if err := checkSchedule(graphs[i], body); err != nil {
+			acc.count(func(r *Report) { r.ValidationFailures++ })
+			return
+		}
+		acc.count(func(r *Report) { r.OK++ })
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		acc.count(func(r *Report) { r.Shed++ })
+	case http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		acc.count(func(r *Report) { r.Timeouts++ })
+	default:
+		io.Copy(io.Discard, resp.Body)
+		acc.count(func(r *Report) { r.TransportErrors++ })
+	}
+}
+
+func doBatch(client *http.Client, cfg loadConfig, rng *rand.Rand, graphs []*dag.Graph, bodies [][]byte, acc *tally) {
+	idx := make([]int, cfg.Batch)
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for j := range idx {
+		idx[j] = rng.Intn(len(graphs))
+		if j > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(bodies[idx[j]])
+	}
+	buf.WriteByte(']')
+
+	t0 := time.Now()
+	resp, err := client.Post(cfg.Addr+"/schedule/batch?heuristic="+cfg.Heuristic, "application/json", &buf)
+	if err != nil {
+		acc.count(func(r *Report) { r.Requests++; r.Items += len(idx); r.TransportErrors++ })
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		acc.addLatency(time.Since(t0))
+		acc.count(func(r *Report) { r.Items += len(idx); r.TransportErrors++ })
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	seen := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var body scheduleBody
+		if err := json.Unmarshal(line, &body); err != nil {
+			acc.count(func(r *Report) { r.Items++; r.ValidationFailures++ })
+			continue
+		}
+		seen++
+		switch {
+		case body.Error == "":
+			if body.Index < 0 || body.Index >= len(idx) {
+				acc.count(func(r *Report) { r.Items++; r.ValidationFailures++ })
+				continue
+			}
+			if err := checkSchedule(graphs[idx[body.Index]], body); err != nil {
+				acc.count(func(r *Report) { r.Items++; r.ValidationFailures++ })
+				continue
+			}
+			acc.count(func(r *Report) { r.Items++; r.OK++ })
+		case strings.Contains(body.Error, "deadline exceeded") || strings.Contains(body.Error, "canceled"):
+			acc.count(func(r *Report) { r.Items++; r.Timeouts++ })
+		default:
+			acc.count(func(r *Report) { r.Items++; r.TransportErrors++ })
+		}
+	}
+	acc.addLatency(time.Since(t0))
+	if err := sc.Err(); err != nil || seen != len(idx) {
+		acc.count(func(r *Report) { r.TransportErrors++ })
+	}
+}

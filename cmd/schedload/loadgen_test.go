@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/heuristics/mcp"
+)
+
+// stubServe is a minimal schedserve stand-in: it really schedules with
+// MCP so the client's validation path sees authentic responses, and
+// optionally sheds every Nth /schedule request.
+func stubServe(t *testing.T, shedEvery int64) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	writeItem := func(w http.ResponseWriter, g *dag.Graph, index int) {
+		sc, err := heuristics.Run(mcp.New(), g)
+		if err != nil {
+			t.Errorf("stub schedule: %v", err)
+			return
+		}
+		body := scheduleBody{Index: index, Makespan: sc.Makespan}
+		for _, a := range sc.ByNode {
+			body.Assignments = append(body.Assignments, assignment{
+				Node: int(a.Node), Proc: a.Proc, Start: a.Start, Finish: a.Finish,
+			})
+		}
+		_ = json.NewEncoder(w).Encode(body) // Encode terminates the NDJSON line
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		if shedEvery > 0 && n.Add(1)%shedEvery == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		g, err := dag.ReadJSON(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeItem(w, g, 0)
+	})
+	mux.HandleFunc("/schedule/batch", func(w http.ResponseWriter, r *http.Request) {
+		var graphs []*dag.Graph
+		if err := json.NewDecoder(r.Body).Decode(&graphs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i, g := range graphs {
+			writeItem(w, g, i)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func shortLoadConfig(addr string) loadConfig {
+	return loadConfig{
+		Addr: addr, Conc: 4, Dur: 300 * time.Millisecond,
+		Heuristic: "MCP", Seed: 3, MinNodes: 8, MaxNodes: 16,
+	}
+}
+
+func TestRunLoadSingle(t *testing.T) {
+	ts := stubServe(t, 0)
+	rep, err := runLoad(shortLoadConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no successful requests against the stub")
+	}
+	if rep.ValidationFailures != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("clean stub produced failures: %+v", rep)
+	}
+	if rep.Requests != rep.Items || rep.OK != rep.Items {
+		t.Fatalf("single mode accounting: %+v", rep)
+	}
+	if rep.LatencyP99Ms < rep.LatencyP50Ms {
+		t.Fatalf("latency quantiles inverted: %+v", rep)
+	}
+}
+
+func TestRunLoadCountsSheds(t *testing.T) {
+	ts := stubServe(t, 3) // every third request sheds
+	rep, err := runLoad(shortLoadConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("stub sheds every 3rd request but report saw none: %+v", rep)
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate >= 1 {
+		t.Fatalf("shed rate = %v, want within (0,1)", rep.ShedRate)
+	}
+	if rep.ValidationFailures != 0 {
+		t.Fatalf("sheds counted as validation failures: %+v", rep)
+	}
+}
+
+func TestRunLoadBatch(t *testing.T) {
+	ts := stubServe(t, 0)
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Batch = 5
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.ValidationFailures != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("batch run: %+v", rep)
+	}
+	if rep.Items != rep.Requests*cfg.Batch {
+		t.Fatalf("items = %d, want requests (%d) x batch (%d)", rep.Items, rep.Requests, cfg.Batch)
+	}
+}
+
+// TestCheckScheduleRejectsCorruption guards the validator itself: a
+// forged makespan or a placement violating dependencies must fail.
+func TestCheckScheduleRejectsCorruption(t *testing.T) {
+	g := dag.New("pair")
+	a := g.AddNode(10)
+	b := g.AddNode(10)
+	g.MustAddEdge(a, b, 3)
+	sc, err := heuristics.Run(mcp.New(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := scheduleBody{Makespan: sc.Makespan}
+	for _, x := range sc.ByNode {
+		good.Assignments = append(good.Assignments, assignment{
+			Node: int(x.Node), Proc: x.Proc, Start: x.Start, Finish: x.Finish,
+		})
+	}
+	if err := checkSchedule(g, good); err != nil {
+		t.Fatalf("authentic schedule rejected: %v", err)
+	}
+
+	forged := good
+	forged.Makespan++
+	if err := checkSchedule(g, forged); err == nil {
+		t.Fatal("forged makespan accepted")
+	}
+
+	truncated := good
+	truncated.Assignments = truncated.Assignments[:1]
+	if err := checkSchedule(g, truncated); err == nil {
+		t.Fatal("truncated assignment list accepted")
+	}
+}

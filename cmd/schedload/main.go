@@ -1,0 +1,71 @@
+// Command schedload is a closed-loop load generator for schedserve. It
+// drives /schedule (or /schedule/batch with -batch) from -conc
+// concurrent clients at an optional target rate, validates every
+// returned schedule by re-timing it under the execution model, and
+// reports latency quantiles and the shed rate.
+//
+// The graphs come from the paper's corpus generator, so the offered
+// load has the same shape mix the benchmarks use.
+//
+// Exit status is 1 if any response failed validation or any transport
+// error occurred; load shedding (429) and request timeouts (503) are
+// expected behaviour under overload and do not fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("schedload", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:8080", "schedserve base URL")
+		rps       = fs.Float64("rps", 0, "target request rate across all clients (0 = closed loop, as fast as responses return)")
+		conc      = fs.Int("conc", 8, "concurrent clients")
+		dur       = fs.Duration("dur", 10*time.Second, "how long to send load")
+		heuristic = fs.String("heuristic", "MCP", "heuristic to request")
+		batch     = fs.Int("batch", 0, "graphs per request via /schedule/batch (0 or 1 = single /schedule requests)")
+		seed      = fs.Int64("seed", 1, "corpus seed")
+		minNodes  = fs.Int("min-nodes", 24, "minimum graph size")
+		maxNodes  = fs.Int("max-nodes", 48, "maximum graph size")
+		report    = fs.String("report", "", "write the JSON report to this file as well as stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := loadConfig{
+		Addr: *addr, RPS: *rps, Conc: *conc, Dur: *dur,
+		Heuristic: *heuristic, Batch: *batch,
+		Seed: *seed, MinNodes: *minNodes, MaxNodes: *maxNodes,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		log.Printf("schedload: %v", err)
+		return 1
+	}
+	rep.Print(out)
+	if *report != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Printf("schedload: marshal report: %v", err)
+			return 1
+		}
+		if err := os.WriteFile(*report, append(data, '\n'), 0o644); err != nil {
+			log.Printf("schedload: write report: %v", err)
+			return 1
+		}
+	}
+	if rep.ValidationFailures > 0 || rep.TransportErrors > 0 {
+		fmt.Fprintln(out, "schedload: FAIL (validation or transport errors)")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/sched"
+)
+
+// batchLine mirrors batchItemJSON for decoding NDJSON responses.
+type batchLine struct {
+	Index       int    `json:"index"`
+	Error       string `json:"error"`
+	Graph       string `json:"graph"`
+	Makespan    int64  `json:"makespan"`
+	Procs       int    `json:"procs"`
+	Assignments []struct {
+		Node   int   `json:"node"`
+		Proc   int   `json:"proc"`
+		Start  int64 `json:"start"`
+		Finish int64 `json:"finish"`
+	} `json:"assignments"`
+}
+
+func postBatch(t *testing.T, url, query, body string) (*http.Response, []batchLine) {
+	t.Helper()
+	resp, err := http.Post(url+"/schedule/batch"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var lines []batchLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l batchLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, lines
+}
+
+// rebuildSchedule reconstructs the placement a batch line describes
+// and re-times it under the execution model, proving the streamed
+// result is a schedule sched.Validate accepts — not just plausible
+// numbers.
+func rebuildSchedule(t *testing.T, g *dag.Graph, l batchLine) *sched.Schedule {
+	t.Helper()
+	pl := sched.NewPlacement(g.NumNodes())
+	as := append([]struct {
+		Node   int   `json:"node"`
+		Proc   int   `json:"proc"`
+		Start  int64 `json:"start"`
+		Finish int64 `json:"finish"`
+	}(nil), l.Assignments...)
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Proc != as[j].Proc {
+			return as[i].Proc < as[j].Proc
+		}
+		return as[i].Start < as[j].Start
+	})
+	for _, a := range as {
+		pl.Assign(dag.NodeID(a.Node), a.Proc)
+	}
+	rebuilt, err := sched.Build(g, pl)
+	if err != nil {
+		t.Fatalf("rebuilding schedule: %v", err)
+	}
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatalf("streamed schedule does not validate: %v", err)
+	}
+	return rebuilt
+}
+
+func TestScheduleBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t, serverOptions{})
+	sample := sampleDAG(t)
+	body := "[" + sample + "," + sample + "," + sample + "]"
+	resp, lines := postBatch(t, ts.URL, "?heuristic=DSC", body)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	g, err := dag.ReadJSON(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lines {
+		if l.Index != i {
+			t.Fatalf("line %d has index %d: stream out of input order", i, l.Index)
+		}
+		if l.Error != "" {
+			t.Fatalf("item %d: %s", i, l.Error)
+		}
+		rebuilt := rebuildSchedule(t, g, l)
+		if rebuilt.Makespan != l.Makespan {
+			t.Errorf("item %d: reported makespan %d, rebuilt %d", i, l.Makespan, rebuilt.Makespan)
+		}
+	}
+}
+
+func TestScheduleBatchMalformed(t *testing.T) {
+	ts := newTestServer(t, serverOptions{})
+	for name, body := range map[string]string{
+		"not-an-array": sampleDAG(t),
+		"empty-array":  "[]",
+		"null-item":    "[null]",
+		"bad-graph":    `[{"nodes":[5,5],"edges":[{"from":0,"to":1,"weight":1},{"from":1,"to":0,"weight":1}]}]`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, _ := postBatch(t, ts.URL, "", body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestScheduleBatchCancelledItems is the HTTP half of the cancellation
+// regression: when the batch deadline expires, every unfinished item's
+// NDJSON line carries the context error and no assignments — a partial
+// placement never reaches the stream.
+func TestScheduleBatchCancelledItems(t *testing.T) {
+	registerSlow.Do(func() {
+		heuristics.Register("SLOWTEST", func() heuristics.Scheduler { return slowSched{d: 300 * time.Millisecond} })
+	})
+	ts := newTestServer(t, serverOptions{Timeout: 30 * time.Millisecond, Workers: 1, QueueDepth: 1})
+	sample := sampleDAG(t)
+	body := "[" + sample + "," + sample + "," + sample + "]"
+	resp, lines := postBatch(t, ts.URL, "?heuristic=SLOWTEST", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (batch errors arrive per line once streaming starts)", resp.StatusCode)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, l := range lines {
+		if l.Index != i {
+			t.Fatalf("line %d has index %d", i, l.Index)
+		}
+		if l.Error == "" {
+			t.Fatalf("item %d finished despite a 30ms deadline against a 300ms scheduler", i)
+		}
+		if !strings.Contains(l.Error, "deadline exceeded") && !strings.Contains(l.Error, "canceled") {
+			t.Errorf("item %d: error %q is not a context error", i, l.Error)
+		}
+		if len(l.Assignments) != 0 || l.Makespan != 0 {
+			t.Errorf("item %d: partial placement leaked into the stream: %+v", i, l)
+		}
+	}
+}
+
+// TestScheduleShedsWithRetryAfter drives more concurrent slow requests
+// than the 1-worker, 1-deep pipeline can hold: the excess must shed
+// with 429 and a Retry-After hint while admitted requests complete.
+func TestScheduleShedsWithRetryAfter(t *testing.T) {
+	registerSlow.Do(func() {
+		heuristics.Register("SLOWTEST", func() heuristics.Scheduler { return slowSched{d: 300 * time.Millisecond} })
+	})
+	ts := newTestServer(t, serverOptions{Workers: 1, QueueDepth: 1})
+	sample := sampleDAG(t)
+
+	const n = 4 // capacity is 2 (1 on the worker + 1 queued): at least 2 must shed
+	codes := make([]int, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/schedule?heuristic=SLOWTEST", "application/json", strings.NewReader(sample))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Errorf("429 response %d missing Retry-After", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("want both successes and sheds, got %d ok / %d shed (%v)", ok, shed, codes)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"schedcomp/internal/obs"
+)
+
+// The fuzz server is built once per process: the pipeline spawns
+// workers, and the point of the fuzz target is the decode path, not
+// pipeline construction.
+var fuzzSrv struct {
+	once sync.Once
+	s    *server
+}
+
+func fuzzHandler() http.Handler {
+	fuzzSrv.once.Do(func() {
+		obs.Default().SetEnabled(true)
+		fuzzSrv.s = newServer(obs.Default(), serverOptions{
+			Timeout: 2 * time.Second, MaxBody: 1 << 20, Workers: 2, QueueDepth: 8,
+		})
+	})
+	return fuzzSrv.s.Handler()
+}
+
+// fuzzOKCodes are the statuses the handlers may answer with under
+// fuzzing: success, client errors for malformed input, shedding, and
+// deadline expiry. Anything else — especially a 500 or a panic — is a
+// decoding bug.
+func fuzzOKCode(code int) bool {
+	switch code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusMethodNotAllowed,
+		http.StatusRequestEntityTooLarge, http.StatusTooManyRequests,
+		http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// FuzzScheduleHandler throws arbitrary bodies and heuristic names at
+// /schedule and /schedule/batch: malformed JSON, huge weights, cycles,
+// duplicate edges, self loops, and out-of-range node ids must all come
+// back as client errors, never a panic or a 500. Seeds live in
+// testdata/fuzz/FuzzScheduleHandler.
+func FuzzScheduleHandler(f *testing.F) {
+	sample, err := os.ReadFile("testdata/sample_dag.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample, "MCP")
+	f.Add(sample, "CLANS")
+	f.Add([]byte("this is not json"), "MCP")
+	f.Add([]byte(`{"nodes":[9223372036854775807,9223372036854775807],"edges":[]}`), "ETF")
+	f.Add([]byte(`{"nodes":[5,5],"edges":[{"from":0,"to":1,"weight":1},{"from":1,"to":0,"weight":1}]}`), "DSC")
+	f.Add([]byte(`{"nodes":[5,5],"edges":[{"from":0,"to":1,"weight":1},{"from":0,"to":1,"weight":2}]}`), "HU")
+	f.Add([]byte(`{"nodes":[5],"edges":[{"from":0,"to":0,"weight":1}]}`), "LC")
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":0,"to":99,"weight":1}]}`), "EZ")
+	f.Add([]byte(`{"nodes":[],"edges":[]}`), "MH")
+	f.Add([]byte(`{"nodes":[-4],"edges":[]}`), "DCP")
+	f.Add([]byte(""), "RAND")
+	f.Add([]byte("null"), "")
+	f.Add([]byte(`[{"nodes":[1],"edges":[]}]`), "NOPE")
+
+	f.Fuzz(func(t *testing.T, body []byte, heuristic string) {
+		h := fuzzHandler()
+		q := "?heuristic=" + url.QueryEscape(heuristic)
+
+		req := httptest.NewRequest(http.MethodPost, "/schedule"+q, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if !fuzzOKCode(rec.Code) {
+			t.Fatalf("/schedule: status %d for body %q (%s)", rec.Code, body, rec.Body.Bytes())
+		}
+		if rec.Code == http.StatusOK && rec.Header().Get("Content-Type") == "application/json" {
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("/schedule: 200 with invalid JSON body %q", rec.Body.Bytes())
+			}
+		}
+
+		// The same body wrapped in an array exercises the batch
+		// decoder; the raw body covers its non-array error paths.
+		for _, b := range [][]byte{[]byte("[" + string(body) + "]"), body} {
+			breq := httptest.NewRequest(http.MethodPost, "/schedule/batch"+q, bytes.NewReader(b))
+			brec := httptest.NewRecorder()
+			h.ServeHTTP(brec, breq)
+			if !fuzzOKCode(brec.Code) {
+				t.Fatalf("/schedule/batch: status %d for body %q (%s)", brec.Code, b, brec.Body.Bytes())
+			}
+		}
+	})
+}

@@ -6,13 +6,21 @@
 //
 //	POST /schedule?heuristic=MCP[&format=gantt][&trace=1]
 //	              body: {"name":..., "nodes":[weights], "edges":[{"from","to","weight"}]}
+//	POST /schedule/batch?heuristic=MCP
+//	              body: a JSON array of DAGs; response is NDJSON, one
+//	              line per DAG in input order, streamed as they finish
 //	GET  /heuristics      registered scheduler names
 //	GET  /metrics         obs registry, Prometheus text format
 //	GET  /healthz         liveness probe
 //	GET  /debug/pprof/    runtime profiles
 //
-// Every request is bounded by -timeout; SIGINT/SIGTERM drain in-flight
-// requests for up to -drain before exiting.
+// Scheduling runs on a bounded pipeline: -workers goroutines pull from
+// a -queue-deep admission queue. When the queue is full, /schedule
+// sheds load with 429 and a Retry-After estimate; batch items instead
+// wait for queue space (bounded by the request deadline). Every
+// request is bounded by -timeout — expiry frees the worker at the next
+// cancellation poll inside the heuristic. SIGINT/SIGTERM drain
+// in-flight requests for up to -drain before exiting.
 package main
 
 import (
@@ -50,12 +58,18 @@ func run() int {
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout for /schedule (0 disables)")
 		drain   = flag.Duration("drain", 5*time.Second, "graceful shutdown drain limit")
 		maxBody = flag.Int64("maxbody", defaultMaxBody, "maximum DAG request body in bytes")
+		workers = flag.Int("workers", 0, "scheduling worker goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
 	)
 	flag.Parse()
 
 	// The service exists to be observed: metrics are always on.
 	obs.Default().SetEnabled(true)
-	srv := newServer(obs.Default(), serverOptions{Timeout: *timeout, MaxBody: *maxBody})
+	srv := newServer(obs.Default(), serverOptions{
+		Timeout: *timeout, MaxBody: *maxBody,
+		Workers: *workers, QueueDepth: *queue,
+	})
+	defer srv.Close()
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

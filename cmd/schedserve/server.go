@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -12,20 +14,29 @@ import (
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/obs"
+	"schedcomp/internal/serve"
 )
 
-// serverOptions configures the HTTP layer.
+// serverOptions configures the HTTP layer and the scheduling pipeline
+// behind it.
 type serverOptions struct {
-	// Timeout bounds one /schedule request end to end; 0 disables.
+	// Timeout bounds one /schedule or /schedule/batch request end to
+	// end; 0 disables.
 	Timeout time.Duration
 	// MaxBody caps the request body size in bytes.
 	MaxBody int64
+	// Workers and QueueDepth size the serve.Pipeline; zero values
+	// pick the pipeline defaults (GOMAXPROCS workers, 4× queue).
+	Workers    int
+	QueueDepth int
 }
 
-// server wires the scheduling endpoints to the obs registry.
+// server wires the scheduling endpoints to the pipeline and the obs
+// registry.
 type server struct {
 	reg  *obs.Registry
 	opts serverOptions
+	pipe *serve.Pipeline
 	mux  *http.ServeMux
 }
 
@@ -35,13 +46,15 @@ func newServer(reg *obs.Registry, opts serverOptions) *server {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = defaultMaxBody
 	}
-	s := &server{reg: reg, opts: opts, mux: http.NewServeMux()}
-
-	schedule := http.Handler(http.HandlerFunc(s.handleSchedule))
-	if opts.Timeout > 0 {
-		schedule = http.TimeoutHandler(schedule, opts.Timeout, "schedserve: request timed out\n")
+	s := &server{
+		reg:  reg,
+		opts: opts,
+		pipe: serve.New(serve.Config{Workers: opts.Workers, QueueDepth: opts.QueueDepth}, reg),
+		mux:  http.NewServeMux(),
 	}
-	s.mux.Handle("/schedule", s.instrument("/schedule", schedule))
+
+	s.mux.Handle("/schedule", s.instrument("/schedule", http.HandlerFunc(s.handleSchedule)))
+	s.mux.Handle("/schedule/batch", s.instrument("/schedule/batch", http.HandlerFunc(s.handleScheduleBatch)))
 	s.mux.Handle("/heuristics", s.instrument("/heuristics", http.HandlerFunc(s.handleHeuristics)))
 	s.mux.Handle("/metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	s.mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
@@ -55,6 +68,41 @@ func newServer(reg *obs.Registry, opts serverOptions) *server {
 
 // Handler returns the root handler.
 func (s *server) Handler() http.Handler { return s.mux }
+
+// Close drains the scheduling pipeline. Call after the HTTP server has
+// stopped accepting requests: handlers submit to the pipeline, so the
+// order is hs.Shutdown first, then Close.
+func (s *server) Close() { s.pipe.Close() }
+
+// requestCtx derives the per-request deadline context. The deadline
+// rides the context through the pipeline into the heuristics, so an
+// expired request stops consuming a worker at the next poll.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// scheduleError maps pipeline errors onto status codes: full queue →
+// 429 with a Retry-After estimate (load shedding), expired or dropped
+// request → 503, anything else → 500 (the graph already validated, so
+// the failure is the scheduler's).
+func (s *server) scheduleError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		ra := s.pipe.RetryAfter()
+		secs := int((ra + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+	case heuristics.IsCancellation(err):
+		httpError(w, http.StatusServiceUnavailable, "request timed out")
+	case errors.Is(err, serve.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
 
 // statusWriter captures the response code for the request counter.
 type statusWriter struct {
@@ -144,13 +192,13 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	run := tr.Span("schedule")
-	schedule, err := heuristics.Run(sc, g)
+	schedule, err := s.pipe.Schedule(ctx, sc, g)
 	run.End()
 	if err != nil {
-		// The graph decoded and validated, so a failure here is the
-		// scheduler's, not the client's.
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.scheduleError(w, err)
 		return
 	}
 
@@ -191,6 +239,98 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		// via the instrument wrapper's status (already 200).
 		return
 	}
+}
+
+// batchItemJSON is one NDJSON line of the /schedule/batch response:
+// either a schedule or an error, always carrying the item's input
+// index. Lines are emitted in input order.
+type batchItemJSON struct {
+	Index       int              `json:"index"`
+	Error       string           `json:"error,omitempty"`
+	Heuristic   string           `json:"heuristic,omitempty"`
+	Graph       string           `json:"graph,omitempty"`
+	Nodes       int              `json:"nodes,omitempty"`
+	SerialTime  int64            `json:"serial_time,omitempty"`
+	Makespan    int64            `json:"makespan,omitempty"`
+	Procs       int              `json:"procs,omitempty"`
+	Assignments []assignmentJSON `json:"assignments,omitempty"`
+}
+
+// handleScheduleBatch schedules an array of DAGs: POST a JSON array of
+// graphs, get back one NDJSON line per graph, in input order, streamed
+// as results complete. Items fan out across the worker pool; admission
+// is blocking per item, so a batch larger than the queue trickles in
+// at the pool's pace instead of displacing single requests wholesale.
+// A cancelled or expired item yields an error line, never a partial
+// schedule.
+func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON array of DAGs")
+		return
+	}
+	name := r.URL.Query().Get("heuristic")
+	if name == "" {
+		name = "MCP"
+	}
+	if _, err := heuristics.New(name); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var graphs []*dag.Graph
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody)).Decode(&graphs); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch: "+err.Error())
+		return
+	}
+	if len(graphs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for i, g := range graphs {
+		if g == nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch item %d is null", i))
+			return
+		}
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Errors from enc/emit mean the client went away; ScheduleBatch
+	// stops emitting and drains, and there is no status left to send.
+	_ = s.pipe.ScheduleBatch(ctx,
+		func() heuristics.Scheduler { sc, _ := heuristics.New(name); return sc },
+		graphs,
+		func(res serve.Result) error {
+			line := batchItemJSON{Index: res.Index}
+			if res.Err != nil {
+				line.Error = res.Err.Error()
+			} else {
+				g := graphs[res.Index]
+				line.Heuristic = name
+				line.Graph = g.Name()
+				line.Nodes = g.NumNodes()
+				line.SerialTime = g.SerialTime()
+				line.Makespan = res.Schedule.Makespan
+				line.Procs = res.Schedule.NumProcs
+				line.Assignments = make([]assignmentJSON, 0, len(res.Schedule.ByNode))
+				for _, a := range res.Schedule.ByNode {
+					line.Assignments = append(line.Assignments, assignmentJSON{
+						Node: int(a.Node), Proc: a.Proc, Start: a.Start, Finish: a.Finish,
+					})
+				}
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
 }
 
 // handleHeuristics lists the registered scheduler names.

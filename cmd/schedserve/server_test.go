@@ -22,7 +22,9 @@ import (
 func newTestServer(t *testing.T, opts serverOptions) *httptest.Server {
 	t.Helper()
 	obs.Default().SetEnabled(true)
-	ts := httptest.NewServer(newServer(obs.Default(), opts).Handler())
+	srv := newServer(obs.Default(), opts)
+	t.Cleanup(srv.Close) // after ts.Close: handlers drain before the pipeline does
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -30,8 +30,14 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jg)
 }
 
+// MaxWireWeight bounds node and edge weights accepted from JSON.
+// Weights are summed along paths and across processors during
+// scheduling; capping each term far below MaxInt64 keeps every such
+// sum overflow-free for any graph that fits in a request body.
+const MaxWireWeight = 1 << 40
+
 // UnmarshalJSON decodes a graph previously written by MarshalJSON. The
-// decoded graph is validated (acyclic, positive weights).
+// decoded graph is validated (acyclic, positive bounded weights).
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
@@ -42,9 +48,15 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		if w <= 0 {
 			return fmt.Errorf("dag: node %d has non-positive weight %d", i, w)
 		}
+		if w > MaxWireWeight {
+			return fmt.Errorf("dag: node %d weight %d exceeds limit %d", i, w, int64(MaxWireWeight))
+		}
 		ng.AddNode(w)
 	}
 	for _, e := range jg.Edges {
+		if e.Weight > MaxWireWeight {
+			return fmt.Errorf("dag: edge %d->%d weight %d exceeds limit %d", e.From, e.To, e.Weight, int64(MaxWireWeight))
+		}
 		if err := ng.AddEdge(NodeID(e.From), NodeID(e.To), e.Weight); err != nil {
 			return err
 		}

@@ -27,6 +27,7 @@
 package clans
 
 import (
+	"context"
 	"sort"
 
 	"schedcomp/internal/clan"
@@ -69,12 +70,21 @@ type fragment struct {
 type builder struct {
 	c       *CLANS
 	g       *dag.Graph
+	ctx     context.Context
+	err     error // sticky cancellation error; lanes are garbage once set
 	topoPos []int
 	member  []bool // scratch: membership of the current child clan
 }
 
 // Schedule implements heuristics.Scheduler.
 func (c *CLANS) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return c.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll at every clan-tree node and once per task
+// committed by the primitive-clan list scheduler.
+func (c *CLANS) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return sched.NewPlacement(0), nil
@@ -87,8 +97,11 @@ func (c *CLANS) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &builder{c: c, g: g, topoPos: pos, member: make([]bool, n)}
+	b := &builder{c: c, g: g, ctx: ctx, topoPos: pos, member: make([]bool, n)}
 	frag := b.schedule(tree.Root)
+	if b.err != nil {
+		return nil, b.err
+	}
 
 	pl := sched.NewPlacement(n)
 	for p, lane := range frag.lanes {
@@ -110,6 +123,13 @@ func (c *CLANS) Schedule(g *dag.Graph) (*sched.Placement, error) {
 }
 
 func (b *builder) schedule(n *clan.Node) fragment {
+	if b.err != nil {
+		return fragment{}
+	}
+	if err := b.ctx.Err(); err != nil {
+		b.err = err
+		return fragment{}
+	}
 	switch n.Kind {
 	case clan.Leaf:
 		return fragment{lanes: [][]dag.NodeID{{n.Task}}, cost: b.g.Weight(n.Task)}
@@ -280,6 +300,10 @@ func (b *builder) etf(members []dag.NodeID) ([][]dag.NodeID, int64) {
 	var makespan int64
 
 	for len(ready) > 0 {
+		if err := b.ctx.Err(); err != nil {
+			b.err = err
+			return [][]dag.NodeID{nil}, 0
+		}
 		// Earliest start over (ready task, lane) pairs, one fresh lane
 		// allowed; ties to the heavier task, then the smaller ID, then
 		// the lower lane.

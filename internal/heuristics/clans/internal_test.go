@@ -1,6 +1,7 @@
 package clans
 
 import (
+	"context"
 	"testing"
 
 	"schedcomp/internal/clan"
@@ -14,7 +15,7 @@ func newBuilder(t *testing.T, g *dag.Graph) *builder {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &builder{c: New(), g: g, topoPos: pos, member: make([]bool, g.NumNodes())}
+	return &builder{c: New(), g: g, ctx: context.Background(), topoPos: pos, member: make([]bool, g.NumNodes())}
 }
 
 func TestBoundaryCommPaperExample(t *testing.T) {

@@ -17,6 +17,8 @@
 package dcp
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -43,6 +45,12 @@ type slot struct {
 
 // Schedule implements heuristics.Scheduler.
 func (d *DCP) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return d.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per committed task.
+func (d *DCP) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -163,6 +171,9 @@ func (d *DCP) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	}
 
 	for done := 0; done < n; done++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		recompute()
 		// Ready task with minimal mobility; ties to smaller AEST, then
 		// smaller ID.

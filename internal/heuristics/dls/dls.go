@@ -13,6 +13,8 @@
 package dls
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -35,6 +37,12 @@ func (d *DLS) Name() string { return "DLS" }
 
 // Schedule implements heuristics.Scheduler.
 func (d *DLS) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return d.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per committed task.
+func (d *DLS) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -57,6 +65,9 @@ func (d *DLS) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	var procFree []int64
 
 	for len(ready) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestI, bestP := -1, -1
 		var bestDL, bestStart int64
 		cand := len(procFree)

@@ -23,6 +23,8 @@
 package dsc
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -76,6 +78,12 @@ type state struct {
 
 // Schedule implements heuristics.Scheduler.
 func (d *DSC) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return d.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per placed task.
+func (d *DSC) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -109,6 +117,9 @@ func (d *DSC) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	}
 
 	for scheduled := 0; scheduled < n; scheduled++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d.fullRecompute {
 			s.recomputeLevels(order)
 		}

@@ -9,6 +9,8 @@
 package etf
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -31,6 +33,12 @@ func (e *ETF) Name() string { return "ETF" }
 
 // Schedule implements heuristics.Scheduler.
 func (e *ETF) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return e.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per committed task.
+func (e *ETF) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -53,6 +61,9 @@ func (e *ETF) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	var procFree []int64
 
 	for len(ready) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestI, bestP := -1, -1
 		var bestStart int64
 		cand := len(procFree)

@@ -12,6 +12,7 @@
 package ez
 
 import (
+	"context"
 	"sort"
 
 	"schedcomp/internal/dag"
@@ -43,6 +44,13 @@ func find(p []int, x int) int {
 
 // Schedule implements heuristics.Scheduler.
 func (e *EZ) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return e.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per examined edge (each trial merge
+// replays the full timing model, the algorithm's dominant step).
+func (e *EZ) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return sched.NewPlacement(0), nil
@@ -73,6 +81,9 @@ func (e *EZ) Schedule(g *dag.Graph) (*sched.Placement, error) {
 		return nil, err
 	}
 	for _, edge := range edges {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ra, rb := find(clusters, int(edge.From)), find(clusters, int(edge.To))
 		if ra == rb {
 			continue // already zeroed transitively

@@ -4,6 +4,8 @@
 package heuristics
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,12 +28,28 @@ type Scheduler interface {
 	Schedule(g *dag.Graph) (*sched.Placement, error)
 }
 
+// ContextScheduler is implemented by schedulers that can abandon work
+// cooperatively when the context is cancelled. Implementations poll
+// ctx once per committed task (topo-order granularity), so a cancelled
+// request stops burning CPU within one scheduling step rather than
+// running the graph to completion. On cancellation they return ctx's
+// error (context.Canceled or context.DeadlineExceeded), never a
+// partial placement.
+//
+// Every heuristic in this module implements it; the interface stays
+// optional so external Scheduler implementations keep working — they
+// are then only cancellable at stage boundaries (see RunContext).
+type ContextScheduler interface {
+	ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error)
+}
+
 // runMetrics holds one heuristic's obs instruments. Per-heuristic
 // labels are bounded by the registry of scheduler names, satisfying
 // the obs cardinality rules.
 type runMetrics struct {
 	seconds      *obs.Histogram
 	schedules    *obs.Counter
+	cancelled    *obs.Counter
 	failSchedule *obs.Counter
 	failBuild    *obs.Counter
 	failValidate *obs.Counter
@@ -52,6 +70,8 @@ func metricsFor(name string) *runMetrics {
 			"Time to schedule, build and validate one graph.", obs.DefTimeBuckets, heur),
 		schedules: reg.Counter("sched_schedules_total",
 			"Validated schedules produced.", heur),
+		cancelled: reg.Counter("sched_run_cancellations_total",
+			"Runs abandoned because the context was cancelled or expired.", heur),
 		failSchedule: reg.Counter("sched_run_failures_total",
 			"Run failures by pipeline stage.", heur, obs.L("stage", "schedule")),
 		failBuild: reg.Counter("sched_run_failures_total",
@@ -68,16 +88,54 @@ func metricsFor(name string) *runMetrics {
 // Run schedules g with s, builds the timed schedule, and validates it
 // against the execution model.
 func Run(s Scheduler, g *dag.Graph) (*sched.Schedule, error) {
+	return RunContext(context.Background(), s, g)
+}
+
+// IsCancellation reports whether err is a context cancellation or
+// deadline error (possibly wrapped).
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunContext is Run under a cancellable context. Cancellation is
+// cooperative: schedulers implementing ContextScheduler abandon work
+// at topo-order granularity, plain Schedulers only between pipeline
+// stages. A cancelled run returns ctx's error — satisfying
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded — and
+// never a partial schedule. Cancellations are counted separately from
+// failures: the heuristic did nothing wrong.
+func RunContext(ctx context.Context, s Scheduler, g *dag.Graph) (*sched.Schedule, error) {
 	m := metricsFor(s.Name())
 	enabled := obs.Default().Enabled()
 	var t0 time.Time
 	if enabled {
 		t0 = time.Now()
 	}
-	pl, err := s.Schedule(g)
+	if err := ctx.Err(); err != nil {
+		m.cancelled.Inc()
+		return nil, err
+	}
+	var pl *sched.Placement
+	var err error
+	if cs, ok := s.(ContextScheduler); ok {
+		pl, err = cs.ScheduleContext(ctx, g)
+	} else {
+		pl, err = s.Schedule(g)
+	}
 	if err != nil {
+		if IsCancellation(err) {
+			m.cancelled.Inc()
+			return nil, err
+		}
 		m.failSchedule.Inc()
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	// A scheduler without context support runs to completion; drop its
+	// placement here so an expired request never yields a result built
+	// after its deadline.
+	if err := ctx.Err(); err != nil {
+		m.cancelled.Inc()
+		return nil, err
 	}
 	sc, err := sched.Build(g, pl)
 	if err != nil {

@@ -21,6 +21,8 @@
 package hu
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/pq"
@@ -61,6 +63,12 @@ func (h *HU) Name() string { return "HU" }
 
 // Schedule implements heuristics.Scheduler.
 func (h *HU) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return h.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per committed task.
+func (h *HU) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -154,6 +162,9 @@ func (h *HU) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	first := free.Pop()
 	place(first, 0)
 	for !free.Empty() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v := free.Pop()
 		place(v, pick(v))
 	}

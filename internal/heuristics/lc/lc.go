@@ -8,6 +8,8 @@
 package lc
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -28,6 +30,13 @@ func (l *LC) Name() string { return "LC" }
 
 // Schedule implements heuristics.Scheduler.
 func (l *LC) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return l.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per extracted path (each extraction is
+// a whole-graph sweep, the algorithm's natural step).
+func (l *LC) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -42,6 +51,9 @@ func (l *LC) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	remaining := n
 	cluster := 0
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		path := heaviestPath(g, order, clustered)
 		if len(path) == 0 {
 			break // unreachable for a DAG with unclustered nodes

@@ -21,6 +21,7 @@
 package mcp
 
 import (
+	"context"
 	"slices"
 	"sort"
 
@@ -56,6 +57,12 @@ type slot struct {
 
 // Schedule implements heuristics.Scheduler.
 func (m *MCP) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return m.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per committed task.
+func (m *MCP) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -72,6 +79,9 @@ func (m *MCP) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	var timelines [][]slot // per processor, sorted by start
 
 	for _, v := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Earliest data-ready time on a fresh processor: every incoming
 		// edge pays communication.
 		var bound int64

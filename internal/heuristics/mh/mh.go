@@ -15,6 +15,8 @@
 package mh
 
 import (
+	"context"
+
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/pq"
@@ -50,6 +52,12 @@ type event struct {
 
 // Schedule implements heuristics.Scheduler.
 func (m *MH) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return m.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per allocation round.
+func (m *MH) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -159,6 +167,9 @@ func (m *MH) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	scheduled := 0
 	for scheduled < n {
 		for !free.Empty() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			allocate(free.Pop())
 			scheduled++
 		}

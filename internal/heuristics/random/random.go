@@ -9,6 +9,7 @@
 package random
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -38,6 +39,12 @@ func (r *RAND) Name() string { return "RAND" }
 
 // Schedule implements heuristics.Scheduler.
 func (r *RAND) Schedule(g *dag.Graph) (*sched.Placement, error) {
+	return r.ScheduleContext(context.Background(), g)
+}
+
+// ScheduleContext implements heuristics.ContextScheduler: Schedule
+// with a cancellation poll once per placed task.
+func (r *RAND) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placement, error) {
 	n := g.NumNodes()
 	pl := sched.NewPlacement(n)
 	if n == 0 {
@@ -53,6 +60,9 @@ func (r *RAND) Schedule(g *dag.Graph) (*sched.Placement, error) {
 	}
 	rng := rand.New(rand.NewSource(r.seed(g)))
 	for _, v := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pl.Assign(v, rng.Intn(procs))
 	}
 	return pl, nil

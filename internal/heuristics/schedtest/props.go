@@ -1,0 +1,183 @@
+package schedtest
+
+import (
+	"testing"
+
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+)
+
+// Props declares which metamorphic properties a heuristic is expected
+// to satisfy. Two properties hold unconditionally for every registered
+// heuristic and are not represented here: the makespan never drops
+// below the no-communication critical path (a lower bound no valid
+// schedule can beat), and every produced schedule passes
+// sched.Validate.
+type Props struct {
+	// SerialBound: makespan never exceeds the serial time. This is
+	// the paper's Table 2 ("percent of schedules worse than
+	// sequential execution"), where CLANS is the only heuristic with
+	// a column of zeros: its speedup check compares every clustering
+	// decision — and the finished schedule — against serial
+	// execution. Every other heuristic commits to spreading work
+	// before the communication bill is known and can land past
+	// serial time on fine-grained graphs.
+	SerialBound bool
+	// ScaleInvariant: multiplying every node and edge weight by k
+	// multiplies the makespan by exactly k. Holds for any heuristic
+	// whose decisions compare only linear combinations of weights.
+	ScaleInvariant bool
+	// IsolatedNodeInvariant: appending a disconnected weight-1 node
+	// (the lightest weight dag.AddNode accepts — zero-weight nodes
+	// are rejected) changes the makespan by at most
+	// IsolatedNodeSlack, since the extra node fits inside any
+	// existing schedule's idle time or on a processor of its own.
+	IsolatedNodeInvariant bool
+	// IsolatedNodeSlack is the allowed makespan delta when
+	// IsolatedNodeInvariant is set; 0 demands exact invariance.
+	IsolatedNodeSlack int64
+}
+
+// PropsFor returns the property set a registered heuristic is expected
+// to satisfy. The table is the documented capability matrix: a false
+// entry is a waiver with a structural reason, not a bug.
+func PropsFor(name string) Props {
+	switch name {
+	case "RAND":
+		// RAND seeds its stream from the graph structure — node
+		// count, weights, edges — so both metamorphic perturbations
+		// (scaling weights, appending a node) reseed the stream and
+		// produce an unrelated placement. It also places without
+		// regard to cost, so nothing bounds it by serial time. Only
+		// the unconditional properties apply.
+		return Props{}
+	case "CLANS":
+		// The only heuristic with the serial-time guarantee (Table
+		// 2). The flip side: when the speedup check rejects every
+		// parallelization, the schedule IS the serial schedule, so
+		// an appended weight-1 node adds its weight to the makespan
+		// — hence one unit of slack.
+		return Props{SerialBound: true, ScaleInvariant: true,
+			IsolatedNodeInvariant: true, IsolatedNodeSlack: 1}
+	default:
+		// List and clustering schedulers alike (HU, ETF, DLS, MCP,
+		// MH, DCP, DSC, LC, EZ) commit placements before the full
+		// communication cost is visible, so none is bounded by
+		// serial time — the experiment Table 2 quantifies. Their
+		// decisions are linear in the weights, so the metamorphic
+		// properties hold exactly.
+		return Props{ScaleInvariant: true, IsolatedNodeInvariant: true}
+	}
+}
+
+// PropertyCorpus generates the stratified mini-corpus the property
+// suite runs on: one small graph from every one of the paper's 60
+// classes, so all five granularity bands, four anchors, and three
+// weight ranges are exercised.
+func PropertyCorpus(t *testing.T, seed int64) []*dag.Graph {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{Seed: seed, GraphsPerSet: 1, MinNodes: 10, MaxNodes: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := make([]*dag.Graph, 0, len(c.Sets))
+	for _, s := range c.Sets {
+		graphs = append(graphs, s.Graphs...)
+	}
+	return graphs
+}
+
+// scaled returns a copy of g with every node and edge weight
+// multiplied by k.
+func scaled(g *dag.Graph, k int64) *dag.Graph {
+	c := g.Clone()
+	for v := 0; v < c.NumNodes(); v++ {
+		c.SetWeight(dag.NodeID(v), g.Weight(dag.NodeID(v))*k)
+	}
+	c.MapEdgeWeights(func(_, _ dag.NodeID, w int64) int64 { return w * k })
+	return c
+}
+
+// withIsolatedNode returns a copy of g with one extra weight-1 node
+// and no edges touching it.
+func withIsolatedNode(g *dag.Graph) *dag.Graph {
+	c := g.Clone()
+	c.AddNode(1)
+	return c
+}
+
+// lowerBound is the no-communication critical path: the weight of the
+// heaviest dependency chain, which no schedule on any number of
+// processors can beat.
+func lowerBound(t *testing.T, g *dag.Graph) int64 {
+	t.Helper()
+	levels, err := g.BLevelsNoComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max int64
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// RunProperties checks every registered heuristic against the
+// metamorphic property suite over the stratified mini-corpus. The
+// unconditional properties (critical-path lower bound, validation —
+// heuristics.Run validates internally and this suite re-asserts it)
+// run for all heuristics; the table-gated ones follow PropsFor.
+func RunProperties(t *testing.T) {
+	graphs := PropertyCorpus(t, 20260805)
+	const k = 3
+	for _, name := range heuristics.Names() {
+		name := name
+		props := PropsFor(name)
+		t.Run(name, func(t *testing.T) {
+			for gi, g := range graphs {
+				sc, err := heuristics.Run(mustNew(t, name), g)
+				if err != nil {
+					t.Fatalf("graph %d (%s): %v", gi, g.Name(), err)
+				}
+				if err := sc.Validate(); err != nil {
+					t.Fatalf("graph %d (%s): schedule failed validation: %v", gi, g.Name(), err)
+				}
+				if lb := lowerBound(t, g); sc.Makespan < lb {
+					t.Errorf("graph %d (%s): makespan %d below critical-path bound %d",
+						gi, g.Name(), sc.Makespan, lb)
+				}
+				if props.SerialBound && sc.Makespan > g.SerialTime() {
+					t.Errorf("graph %d (%s): makespan %d exceeds serial time %d",
+						gi, g.Name(), sc.Makespan, g.SerialTime())
+				}
+				if props.ScaleInvariant {
+					ssc, err := heuristics.Run(mustNew(t, name), scaled(g, k))
+					if err != nil {
+						t.Fatalf("graph %d (%s) scaled: %v", gi, g.Name(), err)
+					}
+					if ssc.Makespan != k*sc.Makespan {
+						t.Errorf("graph %d (%s): weights ×%d took makespan %d → %d, want %d",
+							gi, g.Name(), k, sc.Makespan, ssc.Makespan, k*sc.Makespan)
+					}
+				}
+				if props.IsolatedNodeInvariant {
+					isc, err := heuristics.Run(mustNew(t, name), withIsolatedNode(g))
+					if err != nil {
+						t.Fatalf("graph %d (%s) +isolated: %v", gi, g.Name(), err)
+					}
+					delta := isc.Makespan - sc.Makespan
+					if delta < 0 {
+						delta = -delta
+					}
+					if delta > props.IsolatedNodeSlack {
+						t.Errorf("graph %d (%s): isolated weight-1 node moved makespan %d → %d (slack %d)",
+							gi, g.Name(), sc.Makespan, isc.Makespan, props.IsolatedNodeSlack)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+package schedtest_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/heuristics/schedtest"
+
+	_ "schedcomp/internal/heuristics/clans"
+	_ "schedcomp/internal/heuristics/dcp"
+	_ "schedcomp/internal/heuristics/dls"
+	_ "schedcomp/internal/heuristics/dsc"
+	_ "schedcomp/internal/heuristics/etf"
+	_ "schedcomp/internal/heuristics/ez"
+	_ "schedcomp/internal/heuristics/hu"
+	_ "schedcomp/internal/heuristics/lc"
+	_ "schedcomp/internal/heuristics/mcp"
+	_ "schedcomp/internal/heuristics/mh"
+	_ "schedcomp/internal/heuristics/random"
+)
+
+// TestProperties runs the metamorphic property suite for every
+// registered heuristic over the stratified 60-class mini-corpus.
+func TestProperties(t *testing.T) {
+	schedtest.RunProperties(t)
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+)
+
+// ScheduleBatch runs every graph in graphs through the pipeline and
+// calls emit exactly once per item, in input order, as results become
+// available. factory must return a fresh scheduler per item: items
+// run concurrently across the pool, so a shared instance could race.
+//
+// Items are admitted with the blocking path, so a batch larger than
+// the queue feeds the pool at the pool's pace instead of flooding it.
+// Submission runs concurrently with emission: early items stream out
+// while later ones are still queued.
+//
+// If ctx ends mid-batch, items not yet admitted are reported with
+// ctx's error and items in flight are cancelled by the workers; emit
+// still runs once per item, in order, so the stream stays aligned
+// with the input. A cancelled item carries the context error and a
+// nil Schedule — a partial placement never reaches the stream. If
+// emit returns an error, emission stops, in-flight items drain, and
+// ScheduleBatch returns that error.
+func (p *Pipeline) ScheduleBatch(ctx context.Context, factory func() heuristics.Scheduler, graphs []*dag.Graph, emit func(Result) error) error {
+	n := len(graphs)
+	if n == 0 {
+		return nil
+	}
+	// Capacity n: every item delivers exactly one Result here, either
+	// from a worker or from a failed submit, so nothing ever blocks.
+	done := make(chan Result, n)
+	go func() {
+		for i, g := range graphs {
+			if err := p.submit(ctx, factory(), g, i, done); err != nil {
+				done <- Result{Index: i, Err: err}
+			}
+		}
+	}()
+
+	pending := make([]*Result, n)
+	next := 0
+	var emitErr error
+	for received := 0; received < n; received++ {
+		r := <-done
+		if emitErr != nil {
+			continue // drain without emitting
+		}
+		pending[r.Index] = &r
+		for next < n && pending[next] != nil {
+			out := *pending[next]
+			pending[next] = nil
+			if err := emit(out); err != nil {
+				emitErr = err
+				break
+			}
+			next++
+		}
+	}
+	return emitErr
+}

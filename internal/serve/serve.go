@@ -1,0 +1,259 @@
+// Package serve is the batched, backpressured scheduling pipeline
+// behind schedserve. A fixed pool of workers pulls requests from a
+// bounded admission queue; per-request deadlines propagate through
+// context.Context into heuristics.RunContext, so a request that is
+// cancelled or expires stops burning CPU at the next topo-order poll.
+//
+// Admission policy:
+//
+//   - single requests are admitted without blocking — a full queue
+//     sheds the request immediately with ErrQueueFull so the HTTP
+//     layer can answer 429 with a Retry-After hint;
+//   - batch items are admitted with a blocking send (bounded by the
+//     request context), which is the backpressure that keeps a large
+//     batch from flooding the queue past its depth.
+//
+// Counter contract, relied on by the soak test:
+//
+//	submitted = admitted + shed
+//	admitted  = completed + failed + cancelled   (once drained)
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/heuristics"
+	"schedcomp/internal/obs"
+	"schedcomp/internal/sched"
+)
+
+// ErrQueueFull is returned by Schedule when the admission queue is at
+// capacity. The request did no scheduling work.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrClosed is returned for submissions after Close.
+var ErrClosed = errors.New("serve: pipeline closed")
+
+// Config sizes the pipeline. Zero values pick defaults.
+type Config struct {
+	// Workers is the number of scheduling goroutines. Default
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue. Default 4×Workers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	return c
+}
+
+// Result is one finished scheduling request.
+type Result struct {
+	Index    int // position in the submitting batch; 0 for singles
+	Schedule *sched.Schedule
+	Err      error
+}
+
+type task struct {
+	ctx   context.Context
+	s     heuristics.Scheduler
+	g     *dag.Graph
+	index int
+	enq   time.Time
+	done  chan<- Result // buffered by the submitter; workers never block
+}
+
+// Pipeline is the worker pool. Create with New, shut down with Close.
+type Pipeline struct {
+	cfg   Config
+	queue chan task
+	wg    sync.WaitGroup
+
+	// mu guards closed and, as a reader lock, every send to queue:
+	// Close takes the write lock before closing the channel, so no
+	// sender can race a send against the close.
+	mu     sync.RWMutex
+	closed bool
+
+	depth     *obs.Gauge
+	queueWait *obs.Histogram
+	service   *obs.Histogram
+	submitted *obs.Counter
+	admitted  *obs.Counter
+	shed      *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+}
+
+// New starts a pipeline with cfg's worker pool, registering its
+// instruments on reg (obs.Default() is the usual choice).
+func New(cfg Config, reg *obs.Registry) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:   cfg,
+		queue: make(chan task, cfg.QueueDepth),
+
+		depth: reg.Gauge("serve_queue_depth",
+			"Requests waiting in the admission queue."),
+		queueWait: reg.Histogram("serve_queue_wait_seconds",
+			"Time from admission to a worker picking the request up.", obs.DefTimeBuckets),
+		service: reg.Histogram("serve_service_seconds",
+			"Worker time spent scheduling one request.", obs.DefTimeBuckets),
+		submitted: reg.Counter("serve_submitted_total",
+			"Requests offered to the pipeline."),
+		admitted: reg.Counter("serve_admitted_total",
+			"Requests accepted into the queue."),
+		shed: reg.Counter("serve_shed_total",
+			"Requests rejected because the queue was full."),
+		completed: reg.Counter("serve_completed_total",
+			"Requests that produced a validated schedule."),
+		failed: reg.Counter("serve_failed_total",
+			"Requests that errored for reasons other than cancellation."),
+		cancelled: reg.Counter("serve_cancelled_total",
+			"Requests abandoned because their context was cancelled or expired."),
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the configured pool size.
+func (p *Pipeline) Workers() int { return p.cfg.Workers }
+
+// QueueDepth reports the configured admission-queue bound.
+func (p *Pipeline) QueueDepth() int { return p.cfg.QueueDepth }
+
+// Schedule runs s on g through the pipeline. Admission never blocks:
+// a full queue returns ErrQueueFull immediately. The call then waits
+// for the worker, or for ctx — whichever comes first. On cancellation
+// the queued work is still drained by a worker (and counted), but the
+// caller gets ctx's error right away.
+func (p *Pipeline) Schedule(ctx context.Context, s heuristics.Scheduler, g *dag.Graph) (*sched.Schedule, error) {
+	p.submitted.Inc()
+	done := make(chan Result, 1)
+	t := task{ctx: ctx, s: s, g: g, enq: time.Now(), done: done}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case p.queue <- t:
+		p.mu.RUnlock()
+		p.admitted.Inc()
+		p.depth.Add(1)
+	default:
+		p.mu.RUnlock()
+		p.shed.Inc()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case r := <-done:
+		return r.Schedule, r.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// submit is the blocking-admission path used for batch items: it
+// waits for queue space (the backpressure bound) unless ctx ends
+// first. Results arrive on done, which must have capacity for every
+// outstanding submission so workers never block on delivery.
+func (p *Pipeline) submit(ctx context.Context, s heuristics.Scheduler, g *dag.Graph, index int, done chan<- Result) error {
+	p.submitted.Inc()
+	t := task{ctx: ctx, s: s, g: g, index: index, enq: time.Now(), done: done}
+
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		p.shed.Inc()
+		return ErrClosed
+	}
+	select {
+	case p.queue <- t:
+		p.admitted.Inc()
+		p.depth.Add(1)
+		return nil
+	case <-ctx.Done():
+		p.shed.Inc()
+		return ctx.Err()
+	}
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		p.depth.Add(-1)
+		p.queueWait.Observe(time.Since(t.enq).Seconds())
+		if err := t.ctx.Err(); err != nil {
+			// Died in the queue: no scheduling work, no service time.
+			p.cancelled.Inc()
+			t.done <- Result{Index: t.index, Err: err}
+			continue
+		}
+		t0 := time.Now()
+		sc, err := heuristics.RunContext(t.ctx, t.s, t.g)
+		p.service.Observe(time.Since(t0).Seconds())
+		switch {
+		case err == nil:
+			p.completed.Inc()
+		case heuristics.IsCancellation(err):
+			p.cancelled.Inc()
+			sc = nil
+		default:
+			p.failed.Inc()
+		}
+		t.done <- Result{Index: t.index, Schedule: sc, Err: err}
+	}
+}
+
+// RetryAfter estimates how long a shed client should wait before
+// retrying: the observed mean service time times the number of
+// requests one worker slot has in front of it. Clamped to [1s, 30s];
+// 1s when no service times have been observed yet.
+func (p *Pipeline) RetryAfter() time.Duration {
+	n := p.service.Count()
+	if n == 0 {
+		return time.Second
+	}
+	mean := p.service.Sum() / float64(n)
+	est := time.Duration(mean * float64(p.cfg.QueueDepth) / float64(p.cfg.Workers) * float64(time.Second))
+	if est < time.Second {
+		return time.Second
+	}
+	if est > 30*time.Second {
+		return 30 * time.Second
+	}
+	return est
+}
+
+// Close stops admission and waits for the workers to drain every
+// queued task. Safe to call twice; submissions after Close get
+// ErrClosed.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
