@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baseline is a multiset of previously-accepted findings, loaded from
+// the NDJSON emitted by -json. Matching is by (file, analyzer,
+// message) — deliberately not by line or column, so edits elsewhere
+// in a file do not invalidate the baseline. The multiset counts keep
+// duplicates honest: two identical findings in one file stay two, and
+// a third one introduced later is new.
+type baseline struct {
+	counts map[string]int
+}
+
+func baselineKey(f finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// loadBaseline parses an NDJSON baseline file. Blank lines are
+// ignored; malformed lines are errors (a truncated baseline silently
+// accepting findings would defeat the gate).
+func loadBaseline(path string) (*baseline, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	b := &baseline{counts: map[string]int{}}
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var f finding
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, fmt.Errorf("baseline %s:%d: %v", path, line, err)
+		}
+		b.counts[baselineKey(f)]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// diff splits findings into (new, knownCount). Findings must arrive
+// in the deterministic suite order; the first n occurrences of a key
+// present n times in the baseline are known, later ones are new.
+func (b *baseline) diff(findings []finding) ([]finding, int) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	var fresh []finding
+	known := 0
+	for _, f := range findings {
+		k := baselineKey(f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			known++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, known
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedcomp/internal/lint/analyzers"
+)
+
+func writeBaseline(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.ndjson")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaseline(t *testing.T) {
+	path := writeBaseline(t,
+		`{"file":"a.go","line":10,"col":2,"analyzer":"locksafe","message":"m1"}`,
+		``,
+		`{"file":"a.go","line":30,"col":2,"analyzer":"locksafe","message":"m1"}`,
+		`{"file":"b.go","line":1,"col":1,"analyzer":"genbump","message":"m2"}`,
+	)
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.counts["a.go\x00locksafe\x00m1"]; got != 2 {
+		t.Errorf("duplicate key count = %d, want 2 (multiset semantics)", got)
+	}
+	if got := b.counts["b.go\x00genbump\x00m2"]; got != 1 {
+		t.Errorf("singleton key count = %d, want 1", got)
+	}
+}
+
+func TestLoadBaselineMalformed(t *testing.T) {
+	path := writeBaseline(t, `{"file":"a.go"`, ``)
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("malformed baseline line should be an error, got nil")
+	}
+}
+
+func TestLoadBaselineMissing(t *testing.T) {
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "nope.ndjson")); err == nil {
+		t.Fatal("missing baseline file should be an error, got nil")
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	b := &baseline{counts: map[string]int{
+		"a.go\x00locksafe\x00m1": 1,
+		"b.go\x00genbump\x00m2":  2,
+	}}
+	findings := []finding{
+		// Known, even though the line moved: matching ignores position.
+		{File: "a.go", Line: 99, Col: 1, Analyzer: "locksafe", Message: "m1"},
+		// Second occurrence of a key present once: new.
+		{File: "a.go", Line: 120, Col: 1, Analyzer: "locksafe", Message: "m1"},
+		// Both budgeted occurrences: known.
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "genbump", Message: "m2"},
+		{File: "b.go", Line: 2, Col: 1, Analyzer: "genbump", Message: "m2"},
+		// Different analyzer, same file/message: new.
+		{File: "b.go", Line: 3, Col: 1, Analyzer: "obscard", Message: "m2"},
+	}
+	fresh, known := b.diff(findings)
+	if known != 3 {
+		t.Errorf("known = %d, want 3", known)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want 2 entries", fresh)
+	}
+	if fresh[0].Line != 120 || fresh[0].Analyzer != "locksafe" {
+		t.Errorf("fresh[0] = %+v, want the over-budget locksafe duplicate", fresh[0])
+	}
+	if fresh[1].Analyzer != "obscard" {
+		t.Errorf("fresh[1] = %+v, want the obscard finding", fresh[1])
+	}
+}
+
+func TestBaselineDiffEmptyBaseline(t *testing.T) {
+	b := &baseline{counts: map[string]int{}}
+	findings := []finding{{File: "a.go", Analyzer: "ctxflow", Message: "m"}}
+	fresh, known := b.diff(findings)
+	if known != 0 || len(fresh) != 1 {
+		t.Errorf("empty baseline: fresh=%d known=%d, want 1/0", len(fresh), known)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := analyzers.All()
+	only, err := selectAnalyzers(all, "locksafe,ctxflow", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 2 {
+		t.Fatalf("-only selected %d analyzers, want 2", len(only))
+	}
+	skip, err := selectAnalyzers(all, "", "locksafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skip) != len(all)-1 {
+		t.Fatalf("-skip left %d analyzers, want %d", len(skip), len(all)-1)
+	}
+	if _, err := selectAnalyzers(all, "nosuch", ""); err == nil {
+		t.Fatal("unknown -only name should be an error")
+	}
+	if _, err := selectAnalyzers(all, "locksafe", "locksafe"); err == nil {
+		t.Fatal("selection that leaves nothing should be an error")
+	}
+}

@@ -5,15 +5,29 @@
 //
 // Usage:
 //
-//	go run ./cmd/schedlint ./...          # whole module (CI gate)
-//	go run ./cmd/schedlint ./internal/... # subtree
-//	go run ./cmd/schedlint -json ./...    # NDJSON findings for CI/editors
-//	go run ./cmd/schedlint -list          # describe the analyzers
+//	go run ./cmd/schedlint ./...                       # whole module (CI gate)
+//	go run ./cmd/schedlint ./internal/...              # subtree
+//	go run ./cmd/schedlint -json ./...                 # NDJSON findings for CI/editors
+//	go run ./cmd/schedlint -only=locksafe,ctxflow ./...# subset of the suite
+//	go run ./cmd/schedlint -skip=hotalloc ./...        # everything but
+//	go run ./cmd/schedlint -baseline lint_baseline.ndjson ./...
+//	go run ./cmd/schedlint -list                       # describe the analyzers
 //
 // In -json mode each finding is one JSON object per line with the
 // fields file, line, col, analyzer and message; the default text mode
-// is unchanged. Exit status: 0 clean, 1 diagnostics reported, 2
-// operational error.
+// is unchanged.
+//
+// In -baseline mode the committed NDJSON baseline is loaded and
+// findings already present in it (matched by file, analyzer and
+// message — line-tolerant, so unrelated edits do not churn the
+// baseline) are treated as known: only new findings are printed (in
+// text or -json shape) and only new findings fail the run. This lets
+// a large refactor land analyzer-visible churn incrementally: commit
+// the current findings as the baseline, burn them down over follow-up
+// PRs, and still gate every PR on "no new findings".
+//
+// Exit status: 0 clean (or baseline-known only), 1 new diagnostics
+// reported, 2 operational error.
 package main
 
 import (
@@ -23,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"schedcomp/internal/lint"
 	"schedcomp/internal/lint/analyzers"
@@ -31,13 +46,20 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as NDJSON records (file/line/col/analyzer/message)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	baselinePath := flag.String("baseline", "", "NDJSON baseline file; only findings absent from it fail the run")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [-json] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [-json] [-only names] [-skip names] [-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	suite := analyzers.All()
+	suite, err := selectAnalyzers(analyzers.All(), *only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
 	if *list {
 		for _, a := range suite {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
@@ -54,6 +76,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
 	}
+
+	known := 0
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedlint:", err)
+			os.Exit(2)
+		}
+		var fresh []finding
+		fresh, known = base.diff(findings)
+		findings = fresh
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, f := range findings {
@@ -67,14 +102,73 @@ func main() {
 			fmt.Printf("%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
 		}
 	}
+	if known > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s) matched the baseline\n", known)
+	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(findings))
+		what := "finding(s)"
+		if *baselinePath != "" {
+			what = "new finding(s) not in the baseline"
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %d %s\n", len(findings), what)
 		os.Exit(1)
 	}
 }
 
+// selectAnalyzers applies -only and -skip to the suite, rejecting
+// names that match no analyzer (a typo would otherwise silently pass).
+func selectAnalyzers(all []*lint.Analyzer, only, skip string) ([]*lint.Analyzer, error) {
+	names := func(csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		m := map[string]bool{}
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			found := false
+			for _, a := range all {
+				if a.Name == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", n)
+			}
+			m[n] = true
+		}
+		return m, nil
+	}
+	onlySet, err := names(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := names(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("flag selection leaves no analyzers to run")
+	}
+	return out, nil
+}
+
 // finding is one diagnostic in a machine-consumable shape; the JSON
-// field names are the -json output contract.
+// field names are the -json output contract (consumed by the baseline
+// differ and CI artifacts).
 type finding struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`

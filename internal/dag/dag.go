@@ -60,7 +60,10 @@ func New(name string) *Graph { return &Graph{name: name} }
 // Name returns the graph's name.
 func (g *Graph) Name() string { return g.name }
 
-// SetName renames the graph.
+// SetName renames the graph. The name is reporting metadata, not an
+// analysis input, so the rename deliberately leaves the cache
+// generation alone.
+//lint:nobump name does not feed any cached analysis
 func (g *Graph) SetName(name string) { g.name = name }
 
 // NumNodes returns the number of nodes.

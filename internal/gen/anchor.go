@@ -87,7 +87,9 @@ func (a *adjuster) refresh() error {
 	if err != nil {
 		return err
 	}
-	a.pos = pos
+	// Read-only snapshot: the adjuster never writes a.pos, and refresh
+	// re-fetches it after every mutation that could invalidate it.
+	a.pos = pos //lint:ownedcopy
 	a.byPo = make([]dag.NodeID, len(pos))
 	for v, p := range pos {
 		a.byPo[p] = dag.NodeID(v)

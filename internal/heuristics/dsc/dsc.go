@@ -112,7 +112,9 @@ func (d *DSC) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placeme
 		// are exactly the graph's b-levels (shared cached slice —
 		// copied because place() lowers them in place).
 		copy(s.level, bl)
-		s.pos = pos
+		// Read-only snapshot of the topo positions captured with the
+		// same generation as `order`; DSC never writes through it.
+		s.pos = pos //lint:ownedcopy
 		s.inHeap = make([]bool, n)
 	}
 

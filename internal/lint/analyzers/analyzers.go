@@ -5,9 +5,13 @@ package analyzers
 
 import (
 	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/ctxflow"
 	"schedcomp/internal/lint/floatdet"
+	"schedcomp/internal/lint/genbump"
 	"schedcomp/internal/lint/hotalloc"
+	"schedcomp/internal/lint/locksafe"
 	"schedcomp/internal/lint/mapiter"
+	"schedcomp/internal/lint/obscard"
 	"schedcomp/internal/lint/panicpolicy"
 	"schedcomp/internal/lint/taintnondet"
 	"schedcomp/internal/lint/tiebreak"
@@ -17,9 +21,13 @@ import (
 // All returns the schedlint analyzers in stable (alphabetical) order.
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
+		ctxflow.Analyzer,
 		floatdet.Analyzer,
+		genbump.Analyzer,
 		hotalloc.Analyzer,
+		locksafe.Analyzer,
 		mapiter.Analyzer,
+		obscard.Analyzer,
 		panicpolicy.Analyzer,
 		taintnondet.Analyzer,
 		tiebreak.Analyzer,

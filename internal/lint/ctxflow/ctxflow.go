@@ -1,0 +1,273 @@
+// Package ctxflow enforces context threading through the service
+// layers: a function that receives a context.Context must actually
+// route it into the scheduler invocations and context-capable calls it
+// makes. The serve pipeline cancels queued work through task contexts
+// and the portfolio heuristics poll ctx at every topo step, so a
+// dropped context silently turns a bounded request into an unbounded
+// one — the request keeps burning deadline budget after the caller has
+// given up.
+//
+// Three shapes are flagged inside a context-carrying frame (a function
+// with a ctx parameter, or a closure nested in one):
+//
+//   - a call to a function or method that has a context-accepting
+//     counterpart (Run → RunContext, Schedule → ScheduleContext, or a
+//     sibling interface such as heuristics.ContextScheduler) made
+//     without passing any context;
+//   - context.Background() or context.TODO() introduced below the
+//     frame, severing the caller's cancellation chain;
+//   - a ctx parameter that is never used at all while the body still
+//     performs calls or loops (interface implementations that ignore
+//     their deadline).
+//
+// Intentional detachment — a goroutine that must outlive the request,
+// a drain path after shutdown — is waived with //lint:detached on the
+// offending line or the function declaration.
+package ctxflow
+
+import (
+	"go/types"
+
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/ssair"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "context parameters must be threaded into scheduler invocations and " +
+		"context-capable calls; flags dropped contexts, context.Background() below " +
+		"a ctx-carrying frame, and calls bypassing a *Context counterpart",
+	Run: run,
+}
+
+const directive = "detached"
+
+func run(pass *lint.Pass) error {
+	if pass.Loader == nil {
+		return nil
+	}
+	prog, err := ssair.For(pass)
+	if err != nil {
+		return err
+	}
+	for _, fn := range prog.FuncsOf(pass.Pkg) {
+		checkFunc(pass, prog, fn)
+	}
+	return nil
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParam returns fn's own context parameter value, or nil.
+func ctxParam(fn *ssair.Func) *ssair.Value {
+	for _, p := range fn.Params {
+		if p.Var != nil && isContext(p.Var.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// inCtxScope reports whether fn or an enclosing function carries a
+// context parameter.
+func inCtxScope(fn *ssair.Func) bool {
+	for f := fn; f != nil; f = f.Parent {
+		if ctxParam(f) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCtxParam reports whether f accepts a context.Context parameter.
+func hasCtxParam(f *types.Func) bool {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// counterpart resolves the context-accepting variant of callee:
+// a same-package function <Name>Context, a <Name>Context method in the
+// receiver's method set, or — for interface methods — a sibling
+// interface in the same package that subsumes the receiver interface
+// and declares <Name>Context. Returns its rendered name, or "".
+func counterpart(callee *types.Func) string {
+	if hasCtxParam(callee) {
+		return "" // already context-capable; nothing to upgrade to
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	want := callee.Name() + "Context"
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if f, ok := pkg.Scope().Lookup(want).(*types.Func); ok && hasCtxParam(f) {
+			return pkg.Name() + "." + want
+		}
+		return ""
+	}
+	recv := sig.Recv().Type()
+	ms := types.NewMethodSet(recv)
+	for i := 0; i < ms.Len(); i++ {
+		if f, ok := ms.At(i).Obj().(*types.Func); ok && f.Name() == want && hasCtxParam(f) {
+			return typeName(recv) + "." + want
+		}
+	}
+	// Pointer methods are not in a value receiver's method set.
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		pms := types.NewMethodSet(types.NewPointer(recv))
+		for i := 0; i < pms.Len(); i++ {
+			if f, ok := pms.At(i).Obj().(*types.Func); ok && f.Name() == want && hasCtxParam(f) {
+				return typeName(recv) + "." + want
+			}
+		}
+	}
+	if iface, ok := recv.Underlying().(*types.Interface); ok {
+		for _, name := range pkg.Scope().Names() {
+			tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			cand, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok || !types.Implements(cand, iface) {
+				continue
+			}
+			for i := 0; i < cand.NumMethods(); i++ {
+				if m := cand.Method(i); m.Name() == want && hasCtxParam(m) {
+					return pkg.Name() + "." + name + "." + want
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// callPassesCtx reports whether any argument of call is a context.
+func callPassesCtx(call *ssair.Value) bool {
+	for _, a := range call.Args {
+		if a.Type != nil && isContext(a.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *lint.Pass, prog *ssair.Program, fn *ssair.Func) {
+	scoped := inCtxScope(fn)
+	suppressed := func(v *ssair.Value) bool {
+		f := prog.FileFor(fn, v.Pos)
+		return lint.AnnotatedIn(prog.Fset(), f, v.Pos, directive) ||
+			lint.AnnotatedIn(prog.Fset(), prog.FileFor(fn, fn.DeclPos()), fn.DeclPos(), directive)
+	}
+
+	reported := 0
+	for _, v := range fn.Values {
+		if v.Op != ssair.OpCall || v.Callee == nil {
+			continue
+		}
+		if scoped && ssair.PkgFunc(v.Callee, "context", "Background", "TODO") {
+			if !suppressed(v) {
+				pass.Reportf(v.Pos, "context.%s() below a context-carrying frame severs cancellation; thread the caller's ctx (or annotate //lint:detached)", v.Callee.Name())
+				reported++
+			}
+			continue
+		}
+		if !scoped || callPassesCtx(v) {
+			continue
+		}
+		if cp := counterpart(v.Callee); cp != "" {
+			if !suppressed(v) {
+				pass.Reportf(v.Pos, "call to %s drops the in-scope context; use %s", v.Callee.Name(), cp)
+				reported++
+			}
+		}
+	}
+
+	// A ctx parameter that feeds nothing at all, in a body that does
+	// real work. Skipped when a more specific finding was already
+	// reported, when the parameter is explicitly blank, and for
+	// approximate CFGs.
+	if reported > 0 || fn.Approx {
+		return
+	}
+	pv := ctxParam(fn)
+	if pv == nil || pv.Var.Name() == "" || pv.Var.Name() == "_" {
+		return
+	}
+	if !ctxUsed(prog, fn, pv) && doesWork(fn) {
+		if !lint.AnnotatedIn(prog.Fset(), prog.FileFor(fn, fn.DeclPos()), fn.DeclPos(), directive) &&
+			!lint.AnnotatedIn(prog.Fset(), prog.FileFor(fn, pv.Pos), pv.Pos, directive) {
+			pass.Reportf(pv.Pos, "context parameter %q is never used; thread it into the blocking work or make it _", pv.Var.Name())
+		}
+	}
+}
+
+// ctxUsed reports whether pv feeds any value of fn or of a closure
+// nested (transitively) inside fn.
+func ctxUsed(prog *ssair.Program, fn *ssair.Func, pv *ssair.Value) bool {
+	inFn := func(f *ssair.Func) bool {
+		for a := f; a != nil; a = a.Parent {
+			if a == fn {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range prog.All {
+		if !inFn(f) {
+			continue
+		}
+		for _, v := range f.Values {
+			if v.Op == ssair.OpFreeVar && v.Var == pv.Var {
+				return true
+			}
+			for _, a := range v.Args {
+				if a == pv {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// doesWork reports whether fn's body contains calls or loops — the
+// shapes where an ignored deadline actually costs something.
+func doesWork(fn *ssair.Func) bool {
+	for _, v := range fn.Values {
+		if v.Op == ssair.OpCall || v.LoopDepth > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/ctxflow"
+	"schedcomp/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.Analyzer,
+		"schedcomp/internal/ctxdemo",
+	)
+}

@@ -1,0 +1,105 @@
+// Package ctxdemo exercises ctxflow: dropped contexts, severed
+// cancellation chains, ignored ctx parameters, and the counterpart
+// resolution paths (package function, method set, sibling interface).
+package ctxdemo
+
+import "context"
+
+// Engine pairs Run with a context-accepting variant.
+type Engine struct{ n int }
+
+func (e *Engine) Run() error { return nil }
+
+func (e *Engine) RunContext(ctx context.Context) error { return ctx.Err() }
+
+// Solve pairs with SolveContext at package level.
+func Solve() int { return 1 }
+
+func SolveContext(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 1
+}
+
+// Scheduler has a context-capable sibling interface.
+type Scheduler interface {
+	Schedule(n int) int
+}
+
+// ContextScheduler subsumes Scheduler and adds the ctx variant.
+type ContextScheduler interface {
+	Scheduler
+	ScheduleContext(ctx context.Context, n int) int
+}
+
+// chew is busywork with no context counterpart.
+func chew(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// DropMethod bypasses the method counterpart.
+func DropMethod(ctx context.Context, e *Engine) error {
+	return e.Run() // want `ctxflow: call to Run drops the in-scope context; use Engine\.RunContext`
+}
+
+// DropFunc bypasses the package-level counterpart.
+func DropFunc(ctx context.Context) int {
+	return Solve() // want `ctxflow: call to Solve drops the in-scope context; use ctxdemo\.SolveContext`
+}
+
+// DropIface bypasses the sibling-interface counterpart.
+func DropIface(ctx context.Context, s Scheduler) int {
+	return s.Schedule(3) // want `ctxflow: call to Schedule drops the in-scope context; use ctxdemo\.ContextScheduler\.ScheduleContext`
+}
+
+// Sever replaces the caller's ctx with a fresh root.
+func Sever(ctx context.Context, e *Engine) error {
+	return e.RunContext(context.Background()) // want `ctxflow: context\.Background\(\) below a context-carrying frame severs cancellation`
+}
+
+// SeverClosure severs inside a closure nested in the ctx frame.
+func SeverClosure(ctx context.Context, e *Engine) func() error {
+	return func() error {
+		return e.RunContext(context.TODO()) // want `ctxflow: context\.TODO\(\) below a context-carrying frame severs cancellation`
+	}
+}
+
+// Ignores accepts a deadline and never consults it; the finding
+// anchors at the parameter, so the expectation sits on the decl line.
+func Ignores(ctx context.Context) int { // want `ctxflow: context parameter "ctx" is never used; thread it into the blocking work or make it _`
+	return chew(1000)
+}
+
+// Threads is the healthy shape: ctx reaches the work.
+func Threads(ctx context.Context, e *Engine) error {
+	return e.RunContext(ctx)
+}
+
+// ThreadsClosure uses the outer ctx through a closure free variable.
+func ThreadsClosure(ctx context.Context, e *Engine) func() error {
+	return func() error { return e.RunContext(ctx) }
+}
+
+// Blank declares up front that the deadline is ignored.
+func Blank(_ context.Context) int { return chew(3) }
+
+// NoScope has no context to drop, so Run is fine.
+func NoScope(e *Engine) error { return e.Run() }
+
+// Detach hands work to a goroutine that must outlive the request; the
+// fresh root is deliberate and waived.
+func Detach(ctx context.Context, e *Engine) error {
+	go e.RunContext(context.Background()) //lint:detached janitor outlives the request
+	return e.RunContext(ctx)
+}
+
+// WarmCache ignores deadlines by design: a cold cache fill runs to
+// completion even if the triggering request gave up.
+//
+//lint:detached warm fill runs to completion by design
+func WarmCache(ctx context.Context) int { return chew(64) }

@@ -1,0 +1,364 @@
+// Package genbump guards the two contracts of the dag.Graph analysis
+// cache introduced in PR 3:
+//
+//  1. Every mutator of a generation-counted type must bump the cache
+//     generation. Structurally: a named type that declares a niladic
+//     invalidate method (dag.Graph's cache protocol) must call it —
+//     directly or through another method of the same type — from every
+//     method that writes a receiver field, except the fields
+//     invalidate itself manages and sync.* lock fields. An accessor
+//     that deliberately skips the bump (SetName: the name is not an
+//     analysis input) is waived with //lint:nobump.
+//
+//  2. Slices returned by the cached analyses (TopoOrder, BLevels,
+//     CriticalPath, Descendants, ...) are shared, read-only views of
+//     the cache. A taint pass over ssair follows them from the getter
+//     call to mutation sinks: element stores, append (which may write
+//     in place), sorting, copy-into, and stores that stash the shared
+//     slice into longer-lived structures. Callers that intend to own
+//     the data must copy first — append([]T(nil), s...) — or waive a
+//     provably-local use with //lint:ownedcopy.
+package genbump
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/ssair"
+)
+
+// Analyzer is the genbump pass.
+var Analyzer = &lint.Analyzer{
+	Name: "genbump",
+	Doc: "mutators of generation-counted types must bump the cache generation " +
+		"(call invalidate), and shared slices returned by cached dag analyses " +
+		"must not escape to store/append/sort sinks",
+	Run: run,
+}
+
+// cachedGetters are the dag.Graph accessors that return shared views
+// of the analysis cache.
+var cachedGetters = map[string]bool{
+	"TopoOrder": true, "TopoPositions": true, "BLevels": true,
+	"BLevelsNoComm": true, "TLevels": true, "ALAPTimes": true,
+	"CriticalPath": true, "Descendants": true, "Ancestors": true,
+}
+
+const dagPath = "schedcomp/internal/dag"
+
+func run(pass *lint.Pass) error {
+	checkMutators(pass)
+	if pass.Loader == nil {
+		return nil
+	}
+	prog, err := ssair.For(pass)
+	if err != nil {
+		return err
+	}
+	for _, fn := range prog.FuncsOf(pass.Pkg) {
+		checkEscapes(pass, prog, fn)
+	}
+	return nil
+}
+
+// ---- part 1: mutators must bump the generation ----
+
+type methodInfo struct {
+	decl    *ast.FuncDecl
+	recv    *types.Var
+	writes  []fieldWrite // receiver-field writes
+	invokes map[string]bool
+}
+
+type fieldWrite struct {
+	field string
+	pos   token.Pos
+}
+
+func checkMutators(pass *lint.Pass) {
+	// Group methods by receiver named type.
+	byType := map[*types.TypeName]map[string]*methodInfo{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig, _ := obj.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				continue
+			}
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := types.Unalias(t).(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if byType[tn] == nil {
+				byType[tn] = map[string]*methodInfo{}
+			}
+			mi := &methodInfo{decl: fd, invokes: map[string]bool{}}
+			if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				mi.recv, _ = pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+			}
+			collectBody(pass, mi)
+			byType[tn][fd.Name.Name] = mi
+		}
+	}
+
+	for _, methods := range byType {
+		inv := methods["invalidate"]
+		if inv == nil || !niladic(pass, inv.decl) {
+			continue
+		}
+		// Fields invalidate itself manages are exempt, as are lock
+		// fields (written only through their methods anyway).
+		exempt := map[string]bool{}
+		for _, w := range inv.writes {
+			exempt[w.field] = true
+		}
+
+		// bumps: methods that reach invalidate through same-type calls.
+		bumps := map[string]bool{"invalidate": true}
+		for changed := true; changed; {
+			changed = false
+			for name, mi := range methods {
+				if bumps[name] {
+					continue
+				}
+				for callee := range mi.invokes {
+					if bumps[callee] {
+						bumps[name] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+
+		for name, mi := range methods {
+			if bumps[name] {
+				continue
+			}
+			for _, w := range mi.writes {
+				if exempt[w.field] {
+					continue
+				}
+				if pass.Annotated(w.pos, "nobump") || pass.Annotated(mi.decl.Pos(), "nobump") {
+					break
+				}
+				pass.Reportf(w.pos, "method %s writes %s but never calls invalidate: cached analyses go stale under the old generation", name, w.field)
+				break // one finding per method
+			}
+		}
+	}
+}
+
+func niladic(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig != nil && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// collectBody records mi's receiver-field writes and same-receiver
+// method invocations.
+func collectBody(pass *lint.Pass, mi *methodInfo) {
+	if mi.recv == nil {
+		return
+	}
+	record := func(lhs ast.Expr, pos token.Pos) {
+		if f, ok := receiverField(pass, lhs, mi.recv); ok {
+			mi.writes = append(mi.writes, fieldWrite{field: f, pos: pos})
+		}
+	}
+	ast.Inspect(mi.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				record(lhs, s.Pos())
+			}
+		case *ast.IncDecStmt:
+			record(s.X, s.Pos())
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == mi.recv {
+					mi.invokes[sel.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiverField returns the first field accessed off the receiver in
+// an lvalue chain like r.f, r.f[i], r.f[i].g — ("f", true) — or
+// false when the lvalue is not rooted at the receiver. Lock fields
+// are skipped (they mutate only through their own methods).
+func receiverField(pass *lint.Pass, e ast.Expr, recv *types.Var) (string, bool) {
+	var field *ast.SelectorExpr
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+				field = x
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			if field == nil {
+				return "", false
+			}
+			if t := pass.TypesInfo.TypeOf(field); t != nil && isLockType(t) {
+				return "", false
+			}
+			return field.Sel.Name, true
+		}
+	}
+}
+
+func isLockType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// ---- part 2: shared cache slices must not escape to mutation sinks ----
+
+func checkEscapes(pass *lint.Pass, prog *ssair.Program, fn *ssair.Func) {
+	// Sources: calls to cached getters in this function (their Extract
+	// results carry the shared slice).
+	tainted := map[*ssair.Value]string{} // value -> getter name
+	seed := false
+	for _, v := range fn.Values {
+		if v.Op == ssair.OpCall && v.Callee != nil && cachedGetters[v.Callee.Name()] &&
+			ssair.MethodOn(v.Callee, dagPath, "Graph", v.Callee.Name()) {
+			tainted[v] = v.Callee.Name()
+			seed = true
+		}
+	}
+	if !seed {
+		return
+	}
+
+	// Intraprocedural propagation through view-preserving ops. Only
+	// results that can still alias the cache propagate: reading a
+	// scalar element out of a shared slice (order[i], a range value)
+	// yields an owned copy, not a view, so taint stops there.
+	for changed := true; changed; {
+		changed = false
+		for _, v := range fn.Values {
+			if tainted[v] != "" || !viewLike(v.Type) {
+				continue
+			}
+			switch v.Op {
+			case ssair.OpExtract, ssair.OpPhi, ssair.OpSliceExpr, ssair.OpConvert,
+				ssair.OpIndex, ssair.OpRangeVal, ssair.OpFreeVar:
+				for _, a := range v.Args {
+					if src := tainted[a]; src != "" {
+						tainted[v] = src
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	waived := func(pos token.Pos) bool {
+		return lint.AnnotatedIn(prog.Fset(), prog.FileFor(fn, pos), pos, "ownedcopy") ||
+			lint.AnnotatedIn(prog.Fset(), prog.FileFor(fn, fn.DeclPos()), fn.DeclPos(), "ownedcopy")
+	}
+
+	// base walks an lvalue read-back chain to the value it views.
+	base := func(v *ssair.Value) *ssair.Value {
+		for {
+			switch v.Op {
+			case ssair.OpIndex, ssair.OpField, ssair.OpDeref, ssair.OpSliceExpr:
+				v = v.Args[0]
+			default:
+				return v
+			}
+		}
+	}
+
+	for _, v := range fn.Values {
+		switch v.Op {
+		case ssair.OpStore:
+			if len(v.Args) < 2 {
+				continue
+			}
+			// Write into the shared slice: order[i] = x, copy(order, x).
+			if src := tainted[base(v.Args[0])]; src != "" && !waived(v.Pos) {
+				pass.Reportf(v.Pos, "write into the shared slice returned by (*dag.Graph).%s; copy it first (append([]T(nil), s...)) ", src)
+				continue
+			}
+			// copy(dst, shared) with an untainted dst is the sanctioned
+			// take-ownership pattern, not an escape.
+			if v.Aux == "copy" {
+				continue
+			}
+			// Stashing the shared slice into a longer-lived structure.
+			if src := tainted[v.Args[1]]; src != "" && !waived(v.Pos) {
+				pass.Reportf(v.Pos, "shared slice returned by (*dag.Graph).%s stored into a structure; it is invalidated by the next graph mutation — copy it first", src)
+			}
+		case ssair.OpAppend:
+			if len(v.Args) > 0 {
+				if src := tainted[v.Args[0]]; src != "" && !waived(v.Pos) {
+					pass.Reportf(v.Pos, "append to the shared slice returned by (*dag.Graph).%s may write into the cache in place; copy it first", src)
+				}
+			}
+		case ssair.OpCall:
+			if v.Callee == nil || !isSorter(v.Callee) {
+				continue
+			}
+			for _, a := range v.Args {
+				if src := tainted[a]; src != "" && !waived(v.Pos) {
+					pass.Reportf(v.Pos, "sorting the shared slice returned by (*dag.Graph).%s reorders the cache for every other reader; copy it first", src)
+					break
+				}
+			}
+		}
+	}
+}
+
+// viewLike reports whether a value of type t can alias the backing
+// store of a cache slice: slices, pointers and maps can; scalars,
+// strings and interfaces (the error half of a getter result) cannot.
+func viewLike(t types.Type) bool {
+	if t == nil {
+		return true // be conservative when the builder has no type
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	case *types.Tuple:
+		return true // call results; OpExtract re-checks its own type
+	}
+	return false
+}
+
+func isSorter(f *types.Func) bool {
+	return ssair.PkgFunc(f, "sort", "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s") ||
+		ssair.PkgFunc(f, "slices", "Sort", "SortFunc", "SortStableFunc", "Reverse")
+}

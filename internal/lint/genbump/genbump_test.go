@@ -1,0 +1,14 @@
+package genbump_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/genbump"
+	"schedcomp/internal/lint/linttest"
+)
+
+func TestGenbump(t *testing.T) {
+	linttest.Run(t, "testdata", genbump.Analyzer,
+		"schedcomp/internal/gendemo",
+	)
+}

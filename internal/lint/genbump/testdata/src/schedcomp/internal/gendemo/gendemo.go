@@ -1,0 +1,169 @@
+// Package gendemo exercises genbump: generation-counted mutators that
+// forget to bump, and shared cache slices escaping to mutation sinks.
+package gendemo
+
+import (
+	"sort"
+	"sync"
+
+	"schedcomp/internal/dag"
+)
+
+// ---- part 1: the invalidate protocol on a local type ----
+
+// Table mirrors dag.Graph's cache protocol: mutators must route
+// through invalidate so cached derivations are recomputed.
+type Table struct {
+	mu    sync.Mutex
+	gen   int
+	rows  []int
+	cache []int
+	name  string
+}
+
+func (t *Table) invalidate() {
+	t.gen++
+	t.cache = nil
+}
+
+// Add is the healthy mutator shape.
+func (t *Table) Add(v int) {
+	t.rows = append(t.rows, v)
+	t.invalidate()
+}
+
+// Reset bumps indirectly through another method of the same type.
+func (t *Table) Reset() {
+	t.rows = t.rows[:0]
+	t.clear()
+}
+
+func (t *Table) clear() { t.invalidate() }
+
+// Drop only touches the fields invalidate itself manages — exempt.
+func (t *Table) Drop() { t.cache = nil }
+
+// Locked only takes the lock; sync fields are exempt.
+func (t *Table) Locked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
+
+// Push mutates the rows and leaves the generation stale.
+func (t *Table) Push(v int) {
+	t.rows = append(t.rows, v) // want `genbump: method Push writes rows but never calls invalidate: cached analyses go stale under the old generation`
+}
+
+// Trim mutates through an index/slice lvalue chain.
+func (t *Table) Trim(n int) {
+	t.rows = t.rows[:n] // want `genbump: method Trim writes rows but never calls invalidate`
+}
+
+// Scale writes elements in place without bumping.
+func (t *Table) Scale(k int) {
+	for i := range t.rows {
+		t.rows[i] *= k // want `genbump: method Scale writes rows but never calls invalidate`
+	}
+}
+
+// SetName is reporting metadata, not an analysis input.
+//
+//lint:nobump name feeds no cached derivation
+func (t *Table) SetName(name string) { t.name = name }
+
+// ---- part 2: shared cache slices escaping to mutation sinks ----
+
+// holder outlives the call that filled it.
+type holder struct {
+	order []dag.NodeID
+	pos   []int
+}
+
+// Stash retains the shared topo order past the next mutation.
+func Stash(g *dag.Graph, h *holder) error {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	h.order = order // want `genbump: shared slice returned by \(\*dag\.Graph\)\.TopoOrder stored into a structure`
+	return nil
+}
+
+// SortShared reorders the cache for every other reader.
+func SortShared(g *dag.Graph) error {
+	bl, err := g.BLevels()
+	if err != nil {
+		return err
+	}
+	sort.Slice(bl, func(i, j int) bool { return bl[i] < bl[j] }) // want `genbump: sorting the shared slice returned by \(\*dag\.Graph\)\.BLevels`
+	return nil
+}
+
+// Zero writes through the shared view.
+func Zero(g *dag.Graph) error {
+	lv, err := g.TLevels()
+	if err != nil {
+		return err
+	}
+	lv[0] = 0 // want `genbump: write into the shared slice returned by \(\*dag\.Graph\)\.TLevels`
+	return nil
+}
+
+// Grow appends to the shared slice, which may write into the cache's
+// spare capacity in place.
+func Grow(g *dag.Graph) ([]int64, error) {
+	bl, err := g.BLevelsNoComm()
+	if err != nil {
+		return nil, err
+	}
+	return append(bl, 0), nil // want `genbump: append to the shared slice returned by \(\*dag\.Graph\)\.BLevelsNoComm`
+}
+
+// Owned copies before sorting — the sanctioned take-ownership shape.
+func Owned(g *dag.Graph) ([]int64, error) {
+	bl, err := g.BLevels()
+	if err != nil {
+		return nil, err
+	}
+	own := make([]int64, len(bl))
+	copy(own, bl)
+	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+	return own, nil
+}
+
+// Clone copies via the append-onto-nil idiom.
+func Clone(g *dag.Graph) ([]dag.NodeID, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return append([]dag.NodeID(nil), order...), nil
+}
+
+// Max reads scalar elements out of the shared slice; element values
+// are owned copies, not views.
+func Max(g *dag.Graph) (int64, error) {
+	bl, err := g.BLevels()
+	if err != nil {
+		return 0, err
+	}
+	var m int64
+	for _, l := range bl {
+		if l > m {
+			m = l
+		}
+	}
+	return m, nil
+}
+
+// Snapshot retains the shared positions read-only, waived after
+// review.
+func Snapshot(g *dag.Graph, h *holder) error {
+	pos, err := g.TopoPositions()
+	if err != nil {
+		return err
+	}
+	h.pos = pos //lint:ownedcopy read-only snapshot, refreshed after every mutation
+	return nil
+}

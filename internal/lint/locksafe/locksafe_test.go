@@ -1,0 +1,14 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata", locksafe.Analyzer,
+		"schedcomp/internal/lockdemo",
+	)
+}

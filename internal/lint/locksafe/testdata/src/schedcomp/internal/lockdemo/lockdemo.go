@@ -1,0 +1,138 @@
+// Package lockdemo exercises locksafe: channel operations and
+// blocking calls under a held lock, re-locks, and panic paths without
+// a deferred unlock.
+package lockdemo
+
+import "sync"
+
+// Pool is a miniature of the serve pipeline's admission state.
+type Pool struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	queue chan int
+	n     int
+}
+
+// SendHeld blocks on the queue with the mutex held: a closer that
+// takes the same mutex can never drain it.
+func (p *Pool) SendHeld(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queue <- v // want `locksafe: channel send while holding p\.mu; Close-style writers on the same lock deadlock here`
+}
+
+// RecvHeld parks on a receive with the mutex held.
+func (p *Pool) RecvHeld() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.queue // want `locksafe: channel receive while holding p\.mu`
+}
+
+// Relock re-acquires a lock this goroutine already holds.
+func (p *Pool) Relock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mu.Lock() // want `locksafe: Lock of p\.mu while p\.mu is already held \(self-deadlock\)`
+	p.n++
+}
+
+// SelectHeld has no default clause, so the select parks under the
+// read lock.
+func (p *Pool) SelectHeld(v int) {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	select { // want `locksafe: blocking select while holding p\.rw; add a default clause or release the lock first`
+	case p.queue <- v:
+	}
+}
+
+// drain blocks on the channel; it takes no lock itself, so the hazard
+// only exists at call sites that hold one.
+func (p *Pool) drain() {
+	for range p.queue {
+	}
+}
+
+// DrainHeld calls the blocking helper with the mutex held — the
+// interprocedural may-block summary catches it.
+func (p *Pool) DrainHeld() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drain() // want `locksafe: call to drain may block \(channel or lock wait\) while holding p\.mu`
+}
+
+// Bump panics on bad input with the mutex held and no deferred
+// unlock: the lock survives the unwind.
+func (p *Pool) Bump() {
+	p.mu.Lock()
+	if p.n < 0 {
+		panic("negative") // want `locksafe: panic while p\.mu is held without a deferred unlock; the lock stays held through the unwind`
+	}
+	p.n++
+	p.mu.Unlock()
+}
+
+// check panics on bad input; callers holding a lock inherit the risk.
+func check(n int) {
+	if n < 0 {
+		panic("bad count")
+	}
+}
+
+// Add reaches a may-panic callee with the mutex held, unlocking
+// manually.
+func (p *Pool) Add(n int) {
+	p.mu.Lock()
+	check(n) // want `locksafe: call to check may panic while p\.mu is held without a deferred unlock`
+	p.n += n
+	p.mu.Unlock()
+}
+
+// TryPut is the sanctioned non-blocking shape: a default clause means
+// the select cannot park under the read lock.
+func (p *Pool) TryPut(v int) bool {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	select {
+	case p.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// MustBump panics with the lock held, but the deferred unlock runs
+// during the unwind — no finding.
+func (p *Pool) MustBump() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.n < 0 {
+		panic("negative")
+	}
+	p.n++
+}
+
+// PutUnlocked releases the lock before the blocking send.
+func (p *Pool) PutUnlocked(v int) {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	p.queue <- v
+}
+
+// Async hands the blocking helper to another goroutine; this
+// goroutine never parks while holding the lock.
+func (p *Pool) Async() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go p.drain()
+	p.n++
+}
+
+// SubmitBlocking is the deliberate backpressure shape: admission
+// blocks under the read lock, bounded by the consumer at the far end.
+func (p *Pool) SubmitBlocking(v int) {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	p.queue <- v //lint:lockheld admission backpressure is bounded by the worker pool
+}

@@ -1,0 +1,14 @@
+package obscard_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/obscard"
+)
+
+func TestObscard(t *testing.T) {
+	linttest.Run(t, "testdata", obscard.Analyzer,
+		"schedcomp/internal/obsdemo",
+	)
+}

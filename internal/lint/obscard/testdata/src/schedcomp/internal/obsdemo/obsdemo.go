@@ -1,0 +1,69 @@
+// Package obsdemo exercises obscard: request-derived, caller-supplied
+// and environment strings reaching metric label values, directly and
+// through helpers, against the finite shapes that are allowed.
+package obsdemo
+
+import (
+	"net/http"
+	"os"
+	"strconv"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/obs"
+)
+
+// FromQuery mints a time series per distinct query parameter.
+func FromQuery(r *http.Request) obs.Label {
+	return obs.L("graph", r.URL.Query().Get("name")) // want `obscard: metric label value derives from request-derived input — obs\.L mints a time series per distinct value`
+}
+
+// FromGraph uses the caller-supplied graph name as a label.
+func FromGraph(g *dag.Graph) obs.Label {
+	return obs.L("graph", g.Name()) // want `obscard: metric label value derives from dag\.Graph\.Name\(\) \(caller-supplied graph name\)`
+}
+
+// FromErr labels by error text — unbounded message space.
+func FromErr(err error) obs.Label {
+	return obs.L("cause", err.Error()) // want `obscard: metric label value derives from error text`
+}
+
+// LitFromEnv smuggles the unbounded value through a composite literal
+// instead of the obs.L constructor.
+func LitFromEnv() obs.Label {
+	return obs.Label{Key: "host", Value: os.Getenv("HOSTNAME")} // want `obscard: metric label value derives from environment — an obs\.Label literal mints a time series per distinct value`
+}
+
+// record forwards its argument into a label sink; its parameter
+// becomes a sink for every caller.
+func record(stage string) obs.Label {
+	return obs.L("stage", stage)
+}
+
+// FromHeaderVia reaches the sink through the helper.
+func FromHeaderVia(r *http.Request) obs.Label {
+	return record(r.Header.Get("X-Stage")) // want `obscard: metric label value derives from request-derived input \(flows into an obs label via \S*record\)`
+}
+
+// Static labels from a literal are finite.
+func Static() obs.Label { return obs.L("heuristic", "mcp") }
+
+// Status converts a bounded numeric code.
+func Status(code int) obs.Label { return obs.L("status", strconv.Itoa(code)) }
+
+// heuristic follows the registry convention: Name() draws from the
+// finite table of registered heuristics.
+type heuristic struct{}
+
+func (heuristic) Name() string { return "dsc" }
+
+// FromRegistry labels by the registry name — finite by convention.
+func FromRegistry(h heuristic) obs.Label { return obs.L("heuristic", h.Name()) }
+
+// StageDone feeds the sink-parameter helper from a finite set.
+func StageDone() obs.Label { return record("done") }
+
+// Sharded is waived: the shard name is fixed by deployment config,
+// not by requests, even though the analysis cannot see that.
+func Sharded() obs.Label {
+	return obs.L("shard", os.Getenv("SHARD")) //lint:boundedlabel shard set is fixed at deploy time
+}

@@ -21,9 +21,10 @@ type builder struct {
 	info    *types.Info
 	fn      *Func
 	fnScope *types.Scope
-	cur     *Block
-	targets []*target
-	selectN int64 // >0 while building a select comm statement
+	cur       *Block
+	targets   []*target
+	selectN   int64  // >0 while building a select comm statement
+	selectAux string // "select" or "select-default" while building a comm statement
 }
 
 // target is one enclosing break/continue destination.
@@ -251,10 +252,9 @@ func (b *builder) addPhiOperands(v *types.Var, phi *Value, blk *Block) {
 }
 
 func (b *builder) typeOf(e ast.Expr) types.Type {
-	if tv, ok := b.info.Types[e]; ok {
-		return tv.Type
-	}
-	return nil
+	// Info.TypeOf falls back to Defs/Uses for idents (range-clause
+	// variables have no Types entry, only a Defs one).
+	return b.info.TypeOf(e)
 }
 
 // rootVar returns the local or package-level variable at the base of
@@ -330,12 +330,20 @@ func (b *builder) stmt(s ast.Stmt) {
 	case *ast.BranchStmt:
 		b.branchStmt(s)
 	case *ast.GoStmt:
-		b.expr(s.Call)
+		if v := b.expr(s.Call); v.Op == OpCall {
+			v.Aux = "go"
+		}
 	case *ast.DeferStmt:
-		b.expr(s.Call)
+		if v := b.expr(s.Call); v.Op == OpCall {
+			v.Aux = "defer"
+		}
 	case *ast.SendStmt:
 		ch := b.expr(s.Chan)
 		val := b.expr(s.Value)
+		snd := b.emit(OpSend, b.typeOf(s.Chan), s.Pos(), ch, val)
+		if b.selectN > 0 {
+			snd.Aux, snd.AuxInt = b.selectAux, b.selectN
+		}
 		if root := b.rootVar(s.Chan); root != nil {
 			st := b.emit(OpStore, b.typeOf(s.Chan), s.Pos(), ch, val)
 			st.Var = root
@@ -767,6 +775,13 @@ func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
 	n := int64(len(s.Body.List))
 	choice := b.emit(OpSelect, nil, s.Pos())
 	choice.AuxInt = n
+	commAux := "select"
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			choice.Aux = "default"
+			commAux = "select-default"
+		}
+	}
 	merge := b.newBlock(depth, false)
 	merge.ctrlConds = []*Value{choice}
 	b.targets = append(b.targets, &target{label: label, brk: merge})
@@ -778,9 +793,9 @@ func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
 		blk := b.blockFrom(head, depth)
 		b.cur = blk
 		if cc.Comm != nil {
-			b.selectN = n
+			b.selectN, b.selectAux = n, commAux
 			b.stmt(cc.Comm)
-			b.selectN = 0
+			b.selectN, b.selectAux = 0, ""
 		}
 		b.stmtList(cc.Body)
 		b.jump(b.cur, merge)

@@ -48,7 +48,7 @@ func (b *builder) expr(e ast.Expr) *Value {
 		case token.ARROW:
 			v := b.emit(OpRecv, b.typeOf(x), x.Pos(), b.expr(x.X))
 			if b.selectN > 0 {
-				v.Aux, v.AuxInt = "select", b.selectN
+				v.Aux, v.AuxInt = b.selectAux, b.selectN
 			}
 			return v
 		case token.AND:
@@ -357,9 +357,16 @@ func (b *builder) builtin(name string, x *ast.CallExpr) *Value {
 		if root := b.rootVar(x.Args[0]); root != nil {
 			st := b.emit(OpStore, b.typeOf(x.Args[0]), pos, dst, src)
 			st.Var = root
+			st.Aux = "copy"
 			b.writeVar(root, st)
 		}
 		return b.emit(OpConst, b.typeOf(x), pos)
+	case "panic":
+		var args []*Value
+		for _, a := range x.Args {
+			args = append(args, b.expr(a))
+		}
+		return b.emit(OpPanic, b.typeOf(x), pos, args...)
 	case "min", "max", "complex", "real", "imag":
 		var args []*Value
 		for _, a := range x.Args {

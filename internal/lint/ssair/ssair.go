@@ -63,17 +63,19 @@ const (
 	OpAddr          // &x
 	OpRangeKey      // per-iteration range key; Aux is the range kind ("map", "slice", ...)
 	OpRangeVal      // per-iteration range value; Aux as OpRangeKey
-	OpRecv          // <-ch; Aux=="select" with AuxInt=#comm cases when inside a select
-	OpSelect        // the nondeterministic choice made by a select; AuxInt=#comm cases
+	OpRecv          // <-ch; Aux=="select" ("select-default" when the select has a default) with AuxInt=#cases when inside a select
+	OpSelect        // the nondeterministic choice made by a select; AuxInt=#cases, Aux=="default" when a default clause exists
 	OpMakeMap       // make(map...) or a map literal (Aux "make"/"lit")
 	OpMakeSlice     // make([]T,...) or a slice/array literal; AuxInt=1 when a size was given
 	OpMakeChan      // make(chan ...)
 	OpAppend        // append(dest, elems...); Aux renders the dest expression
 	OpComposite     // struct composite literal or new(T)
 	OpClosure       // func literal; Closure is the nested Func
-	OpStore         // new version of a root variable after a composite store: Args[0]=old, Args[1]=stored
+	OpStore         // new version of a root variable after a composite store: Args[0]=old, Args[1]=stored; Aux=="copy" for builtin copy
 	OpMutate        // new version of a root variable after a call that may mutate it: Args[0]=old, Call/ArgIndex identify the call
 	OpTypeAssert    // x.(T)
+	OpSend          // ch <- v: Args[0]=chan, Args[1]=value; Aux as OpRecv when inside a select
+	OpPanic         // call to builtin panic; Args are the operands
 )
 
 var opNames = [...]string{
@@ -85,6 +87,7 @@ var opNames = [...]string{
 	OpMakeMap: "MakeMap", OpMakeSlice: "MakeSlice", OpMakeChan: "MakeChan",
 	OpAppend: "Append", OpComposite: "Composite", OpClosure: "Closure",
 	OpStore: "Store", OpMutate: "Mutate", OpTypeAssert: "TypeAssert",
+	OpSend: "Send", OpPanic: "Panic",
 }
 
 func (o Op) String() string {
@@ -320,3 +323,21 @@ func (p *Program) FileFor(fn *Func, pos token.Pos) *ast.File {
 
 // Fset returns the program's file set.
 func (p *Program) Fset() *token.FileSet { return p.Loader.Fset }
+
+// Version increments whenever a package is added to the program.
+// Analyzers that compute whole-program fixpoints key their memoized
+// results on it, recomputing only when the program has grown.
+func (p *Program) Version() int { return p.version }
+
+// MethodOn reports whether f is the method name on type
+// pkgPath.typeName (pointer or value receiver). Exported for the
+// analyzers built on top of the IR.
+func MethodOn(f *types.Func, pkgPath, typeName, name string) bool {
+	return methodOn(f, pkgPath, typeName, name)
+}
+
+// PkgFunc reports whether f is one of the named package-level
+// functions of pkgPath.
+func PkgFunc(f *types.Func, pkgPath string, names ...string) bool {
+	return pkgFunc(f, pkgPath, names...)
+}

@@ -128,6 +128,101 @@ func TestNestedLoopDepth(t *testing.T) {
 	}
 }
 
+func TestSelectControlEdges(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "Shuttle")
+	var choice *ssair.Value
+	var send, recv bool
+	for _, v := range fn.Values {
+		switch v.Op {
+		case ssair.OpSelect:
+			choice = v
+		case ssair.OpSend:
+			if v.Aux == "select" && v.AuxInt == 2 {
+				send = true
+			}
+		case ssair.OpRecv:
+			if v.Aux == "select" && v.AuxInt == 2 {
+				recv = true
+			}
+		}
+	}
+	if choice == nil || choice.AuxInt != 2 || choice.Aux == "default" {
+		t.Fatalf("blocking select should yield an OpSelect with 2 cases and no default mark, got %v", choice)
+	}
+	if !send || !recv {
+		t.Errorf("select comm ops should be marked \"select\" with the case count (send=%v recv=%v)", send, recv)
+	}
+	// The merged t must be control-dependent on the select choice.
+	depends := false
+	for _, v := range fn.Values {
+		if v.Op != ssair.OpPhi {
+			continue
+		}
+		for _, c := range v.Ctrl {
+			if c == choice {
+				depends = true
+			}
+		}
+	}
+	if !depends {
+		t.Error("the phi merging the select arms should carry the OpSelect choice in Ctrl")
+	}
+}
+
+func TestSelectDefaultMarking(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "TryPut")
+	var choiceDefault, sendDefault bool
+	for _, v := range fn.Values {
+		switch v.Op {
+		case ssair.OpSelect:
+			choiceDefault = v.Aux == "default"
+		case ssair.OpSend:
+			sendDefault = v.Aux == "select-default"
+		}
+	}
+	if !choiceDefault {
+		t.Error("select with a default clause should mark the OpSelect Aux \"default\"")
+	}
+	if !sendDefault {
+		t.Error("a send in a select with default should be marked \"select-default\" (non-blocking)")
+	}
+}
+
+func TestDeferAndGoCallMarking(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "Cleanup")
+	var deferred, spawned bool
+	for _, v := range fn.Values {
+		if v.Op != ssair.OpCall {
+			continue
+		}
+		switch v.Aux {
+		case "defer":
+			deferred = true
+		case "go":
+			spawned = true
+		}
+	}
+	if !deferred {
+		t.Error("deferred call should carry Aux \"defer\"")
+	}
+	if !spawned {
+		t.Error("go-statement call should carry Aux \"go\"")
+	}
+}
+
+func TestPanicLowering(t *testing.T) {
+	fn := findFunc(t, loadProgram(t), "Explode")
+	found := false
+	for _, v := range fn.Values {
+		if v.Op == ssair.OpPanic && len(v.Args) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("builtin panic should lower to OpPanic carrying its operand")
+	}
+}
+
 func TestNoApproxFallbacks(t *testing.T) {
 	prog := loadProgram(t)
 	for _, fn := range prog.All {

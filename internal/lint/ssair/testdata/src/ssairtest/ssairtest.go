@@ -64,6 +64,44 @@ func Nested(rows [][]int) int {
 	return t
 }
 
+// Shuttle has a blocking select (no default): the choice must record
+// both cases, the send and receive must be marked "select", and the
+// value merged across the arms must be control-dependent on the choice.
+func Shuttle(in, out chan int) int {
+	t := 0
+	select {
+	case out <- 1:
+		t = 1
+	case v := <-in:
+		t = v
+	}
+	return t
+}
+
+// TryPut has a select with a default clause: the choice is marked
+// "default" and the send is marked "select-default" — the shape that
+// distinguishes non-blocking admission from a blocking send.
+func TryPut(out chan int) bool {
+	select {
+	case out <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cleanup pins deferred- and go-statement call marking: the deferred
+// call carries Aux "defer", the spawned one Aux "go".
+func Cleanup(f, g func()) {
+	defer f()
+	go g()
+}
+
+// Explode pins builtin panic lowering: the operand feeds an OpPanic.
+func Explode(msg string) {
+	panic("explode: " + msg)
+}
+
 // Spin exercises the statements the builder must not choke on:
 // labeled loops, switch with fallthrough, select, type switch, defer.
 func Spin(ch chan int, xs []int) int {

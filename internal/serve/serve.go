@@ -185,7 +185,11 @@ func (p *Pipeline) submit(ctx context.Context, s heuristics.Scheduler, g *dag.Gr
 		p.shed.Inc()
 		return ErrClosed
 	}
-	select {
+	// Blocking admission under the read lock is the backpressure
+	// contract. A blocked submitter can stall Close's write lock only
+	// until a worker (which never takes p.mu) drains a slot or ctx
+	// fires, so liveness holds and closed/queue stay consistent.
+	select { //lint:lockheld
 	case p.queue <- t:
 		p.admitted.Inc()
 		p.depth.Add(1)
