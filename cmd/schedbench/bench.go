@@ -25,10 +25,16 @@ type BenchSpec struct {
 
 // HeuristicBench aggregates one heuristic's pass over the whole corpus.
 type HeuristicBench struct {
-	Name           string  `json:"name"`
-	NsPerGraph     int64   `json:"ns_per_graph"`
-	AllocsPerGraph uint64  `json:"allocs_per_graph"`
-	GraphsPerSec   float64 `json:"graphs_per_sec"`
+	Name           string `json:"name"`
+	NsPerGraph     int64  `json:"ns_per_graph"`
+	AllocsPerGraph uint64 `json:"allocs_per_graph"`
+	// BytesPerGraph is the heap bytes allocated per graph
+	// (MemStats.TotalAlloc delta over the pass), the volume counterpart
+	// to the AllocsPerGraph count: hoisting many small allocations into
+	// one big one moves allocs_per_graph but barely moves this, while a
+	// growing per-iteration buffer moves both.
+	BytesPerGraph uint64  `json:"bytes_per_graph"`
+	GraphsPerSec  float64 `json:"graphs_per_sec"`
 	// ScheduleHash is an FNV-1a digest over every schedule the
 	// heuristic produced (assignments in node order plus makespan and
 	// processor count, graphs in corpus order). Any behavioural change
@@ -86,7 +92,7 @@ func runBench(c *corpus.Corpus, corpusGen time.Duration, note string, tr *obs.Tr
 			h.Write(buf[:])
 		}
 		runtime.ReadMemStats(&ms)
-		allocs0 := ms.Mallocs
+		allocs0, bytes0 := ms.Mallocs, ms.TotalAlloc
 		spH := spBench.Span(name)
 		start := time.Now()
 		for _, set := range c.Sets {
@@ -113,6 +119,7 @@ func runBench(c *corpus.Corpus, corpusGen time.Duration, note string, tr *obs.Tr
 			Name:           name,
 			NsPerGraph:     elapsed.Nanoseconds() / int64(n),
 			AllocsPerGraph: (ms.Mallocs - allocs0) / uint64(n),
+			BytesPerGraph:  (ms.TotalAlloc - bytes0) / uint64(n),
 			GraphsPerSec:   float64(n) / elapsed.Seconds(),
 			ScheduleHash:   fmt.Sprintf("fnv1a:%016x", h.Sum64()),
 		})

@@ -13,6 +13,11 @@
 //	go run ./cmd/schedlint -baseline lint_baseline.ndjson ./...
 //	go run ./cmd/schedlint -list                       # describe the analyzers
 //
+//	# perflint pack (hotescape, hotbce, noinline):
+//	go run ./cmd/schedlint -only hotescape,hotbce,noinline -perfbudget perf_budget.json ./...
+//	go run ./cmd/schedlint -only hotescape,hotbce,noinline -writeperfbudget perf_budget.json ./...
+//	go run ./cmd/schedlint -only hotescape,hotbce,noinline -perfreport ./internal/heuristics/...
+//
 // In -json mode each finding is one JSON object per line with the
 // fields file, line, col, analyzer and message; the default text mode
 // is unchanged.
@@ -26,8 +31,15 @@
 // the current findings as the baseline, burn them down over follow-up
 // PRs, and still gate every PR on "no new findings".
 //
-// Exit status: 0 clean (or baseline-known only), 1 new diagnostics
-// reported, 2 operational error.
+// In -perfbudget mode the committed budget (see perfbudget.go) is
+// loaded and findings within their budgeted (package, analyzer,
+// message) counts pass; only findings over budget — new optimization
+// regressions — are printed and fail the run. -writeperfbudget
+// regenerates the budget from the current tree; -perfreport prints
+// every finding as a worklist ranked by loop depth, deepest first.
+//
+// Exit status: 0 clean (or baseline-known/within-budget only), 1 new
+// diagnostics reported, 2 operational error.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -49,8 +62,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
 	baselinePath := flag.String("baseline", "", "NDJSON baseline file; only findings absent from it fail the run")
+	perfBudgetPath := flag.String("perfbudget", "", "perf budget JSON file; only findings over the budgeted counts fail the run")
+	writePerfBudget := flag.String("writeperfbudget", "", "write the current findings as a perf budget to this file and exit")
+	perfReport := flag.Bool("perfreport", false, "print findings as a refactoring worklist ranked by loop depth and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [-json] [-only names] [-skip names] [-baseline file] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-list] [-json] [-only names] [-skip names] [-baseline file] [-perfbudget file] [-writeperfbudget file] [-perfreport] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,6 +91,43 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
+	}
+
+	if *writePerfBudget != "" {
+		b, err := savePerfBudget(*writePerfBudget, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: wrote %d budget entr(y/ies) (%d finding(s), %s) to %s\n",
+			len(b.Entries), len(findings), b.GcVersion, *writePerfBudget)
+		return
+	}
+	if *perfReport {
+		printPerfReport(findings)
+		return
+	}
+
+	overBudget := false
+	if *perfBudgetPath != "" {
+		budget, err := loadPerfBudget(*perfBudgetPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedlint:", err)
+			os.Exit(2)
+		}
+		if v := runtime.Version(); budget.GcVersion != "" && budget.GcVersion != v {
+			fmt.Fprintf(os.Stderr, "schedlint: warning: perf budget written under %s, running %s; optimization decisions may differ\n",
+				budget.GcVersion, v)
+		}
+		regressions, within, improved := budget.diff(findings)
+		findings = regressions
+		overBudget = len(regressions) > 0
+		if within > 0 {
+			fmt.Fprintf(os.Stderr, "schedlint: %d finding(s) within the perf budget\n", within)
+		}
+		if improved > 0 {
+			fmt.Fprintf(os.Stderr, "schedlint: %d budgeted finding(s) no longer present (consider -writeperfbudget to shrink the budget)\n", improved)
+		}
 	}
 
 	known := 0
@@ -107,7 +160,10 @@ func main() {
 	}
 	if len(findings) > 0 {
 		what := "finding(s)"
-		if *baselinePath != "" {
+		switch {
+		case overBudget:
+			what = "finding(s) over the perf budget"
+		case *baselinePath != "":
 			what = "new finding(s) not in the baseline"
 		}
 		fmt.Fprintf(os.Stderr, "schedlint: %d %s\n", len(findings), what)
@@ -175,6 +231,13 @@ type finding struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Package is the import path of the analyzed package; Depth is the
+	// loop nesting depth attributed by depth-ranking analyzers. Both are
+	// omitted when zero so the pre-existing NDJSON contract (and the
+	// committed baselines that use it) are unchanged for the analyzers
+	// that do not set them.
+	Package string `json:"package,omitempty"`
+	Depth   int    `json:"depth,omitempty"`
 }
 
 func runSuite(suite []*lint.Analyzer, patterns []string) ([]finding, error) {
@@ -208,7 +271,7 @@ func runSuite(suite []*lint.Analyzer, patterns []string) ([]finding, error) {
 					if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
 						file = rel
 					}
-					findings = append(findings, finding{File: file, Line: pos.Line, Col: pos.Column, Analyzer: a.Name, Message: d.Message})
+					findings = append(findings, finding{File: file, Line: pos.Line, Col: pos.Column, Analyzer: a.Name, Message: d.Message, Package: pkg.Path, Depth: d.Depth})
 				},
 			}
 			if err := a.Run(pass); err != nil {

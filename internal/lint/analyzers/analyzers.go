@@ -9,8 +9,11 @@ import (
 	"schedcomp/internal/lint/floatdet"
 	"schedcomp/internal/lint/genbump"
 	"schedcomp/internal/lint/hotalloc"
+	"schedcomp/internal/lint/hotbce"
+	"schedcomp/internal/lint/hotescape"
 	"schedcomp/internal/lint/locksafe"
 	"schedcomp/internal/lint/mapiter"
+	"schedcomp/internal/lint/noinline"
 	"schedcomp/internal/lint/obscard"
 	"schedcomp/internal/lint/panicpolicy"
 	"schedcomp/internal/lint/taintnondet"
@@ -25,8 +28,11 @@ func All() []*lint.Analyzer {
 		floatdet.Analyzer,
 		genbump.Analyzer,
 		hotalloc.Analyzer,
+		hotbce.Analyzer,
+		hotescape.Analyzer,
 		locksafe.Analyzer,
 		mapiter.Analyzer,
+		noinline.Analyzer,
 		obscard.Analyzer,
 		panicpolicy.Analyzer,
 		taintnondet.Analyzer,

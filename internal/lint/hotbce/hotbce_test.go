@@ -1,0 +1,12 @@
+package hotbce_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/hotbce"
+	"schedcomp/internal/lint/linttest"
+)
+
+func TestHotbce(t *testing.T) {
+	linttest.Run(t, "testdata", hotbce.Analyzer, "schedcomp/internal/heuristics/bcedemo")
+}

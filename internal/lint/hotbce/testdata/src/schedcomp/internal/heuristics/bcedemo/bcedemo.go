@@ -1,0 +1,56 @@
+// Package bcedemo exercises hotbce: bounds checks the compiler could
+// not eliminate, inside loops of a hot package.
+package bcedemo
+
+// SumIndirect indexes xs through idx[i]; the compiler proves idx[i] in
+// bounds of idx (i < len(idx)) but cannot bound xs[idx[i]].
+func SumIndirect(xs []int, idx []int) int {
+	s := 0
+	for i := 0; i < len(idx); i++ {
+		s += xs[idx[i]] // want `hotbce: bounds check not eliminated in a depth-1 scheduling loop`
+	}
+	return s
+}
+
+// SumNested pays the same check at depth 2.
+func SumNested(xs []int, idx []int) int {
+	s := 0
+	for r := 0; r < len(idx); r++ {
+		for i := 0; i < len(idx); i++ {
+			s += xs[idx[i]] // want `hotbce: bounds check not eliminated in a depth-2 scheduling loop`
+		}
+	}
+	return s
+}
+
+// SumDirect is fully bounds-check eliminated: no finding.
+func SumDirect(xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// Pick has a bounds check, but at depth 0: no finding.
+func Pick(xs []int, i int) int {
+	return xs[i]
+}
+
+// WaivedLine carries the line waiver.
+func WaivedLine(xs []int, idx []int) int {
+	s := 0
+	for i := 0; i < len(idx); i++ {
+		s += xs[idx[i]] //lint:boundedidx
+	}
+	return s
+}
+
+//lint:boundedidx
+func WaivedFunc(xs []int, idx []int) int {
+	s := 0
+	for i := 0; i < len(idx); i++ {
+		s += xs[idx[i]]
+	}
+	return s
+}

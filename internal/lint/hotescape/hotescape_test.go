@@ -1,0 +1,12 @@
+package hotescape_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/hotescape"
+	"schedcomp/internal/lint/linttest"
+)
+
+func TestHotescape(t *testing.T) {
+	linttest.Run(t, "testdata", hotescape.Analyzer, "schedcomp/internal/heuristics/escdemo")
+}

@@ -1,0 +1,64 @@
+// Package escdemo exercises hotescape: compiler-verified heap escapes
+// in loops of a hot package. The import path sits under
+// internal/heuristics so the analyzer's scope gate admits it.
+package escdemo
+
+var sink *int
+
+var sinkFn func() int
+
+// PerIterEscape heap-allocates every iteration: new(int) stored to a
+// global escapes.
+func PerIterEscape(n int) {
+	for i := 0; i < n; i++ {
+		p := new(int) // want `hotescape: heap escape in a depth-1 scheduling loop`
+		*p = i
+		sink = p
+	}
+}
+
+// NestedEscape escapes at depth 2; the message ranks it deeper.
+func NestedEscape(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := new(int) // want `hotescape: heap escape in a depth-2 scheduling loop`
+			*p = i * j
+			sink = p
+		}
+	}
+}
+
+// ClosureEscape allocates a capturing closure per iteration.
+func ClosureEscape(n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		f := func() int { return i } // want `hotescape: heap escape in a depth-1 scheduling loop`
+		sinkFn = f
+	}
+}
+
+// ColdEscape escapes outside any loop: depth 0, no finding.
+func ColdEscape() *int {
+	p := new(int)
+	*p = 7
+	return p
+}
+
+// WaivedLine carries the line waiver.
+func WaivedLine(n int) {
+	for i := 0; i < n; i++ {
+		//lint:coldescape
+		p := new(int)
+		*p = i
+		sink = p
+	}
+}
+
+//lint:coldescape
+func WaivedFunc(n int) {
+	for i := 0; i < n; i++ {
+		p := new(int)
+		*p = i
+		sink = p
+	}
+}

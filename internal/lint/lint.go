@@ -32,6 +32,10 @@ type Analyzer struct {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Depth is the loop nesting depth the finding is attributed to by
+	// depth-ranking analyzers (the perflint pack); 0 when the analyzer
+	// does not rank by depth.
+	Depth int
 }
 
 // Pass carries one type-checked package through an analyzer run.
@@ -59,6 +63,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		msg = p.Analyzer.Name + ": " + msg
 	}
 	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// ReportDepthf is Reportf for analyzers that rank findings by loop
+// nesting depth; the depth travels on the Diagnostic so drivers can
+// sort hot findings first.
+func (p *Pass) ReportDepthf(pos token.Pos, depth int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasPrefix(msg, p.Analyzer.Name+":") {
+		msg = p.Analyzer.Name + ": " + msg
+	}
+	p.Report(Diagnostic{Pos: pos, Message: msg, Depth: depth})
 }
 
 // FileFor returns the syntax tree containing pos, or nil.

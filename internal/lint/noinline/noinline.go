@@ -1,0 +1,114 @@
+// Package noinline flags call sites in deeply nested scheduling loops
+// (dominator loop depth >= 2) whose callee the compiler refused to
+// inline, with the compiler's own reason from the -json=0 optimization
+// log: "marked go:noinline", "function too complex: cost N exceeds
+// budget 80", and so on. A depth-2 call that is not inlined pays the
+// call overhead on every inner iteration and blocks the optimizations
+// (escape analysis, BCE) that inlining would have unlocked.
+//
+// The join runs both ways: a cannotInlineCall diagnostic at the call
+// site, or a cannotInlineFunction diagnostic at the callee's
+// declaration (possibly in a different hot package). Callees outside
+// the compiled hot set (standard library, interface methods, function
+// values) are skipped — no verdict, no finding.
+//
+// A finding can be waived with //lint:outlined on the call line when
+// keeping the call outlined is intentional (code size, icache).
+package noinline
+
+import (
+	"go/ast"
+
+	"schedcomp/internal/lint"
+	"schedcomp/internal/lint/optdiag"
+	"schedcomp/internal/lint/ssair"
+)
+
+// Analyzer is the noinline pass.
+var Analyzer = &lint.Analyzer{
+	Name: "noinline",
+	Doc: "flag calls in depth>=2 scheduling loops whose callee the compiler " +
+		"rejected for inlining, quoting the compiler's reason; waive deliberate " +
+		"outlining with //lint:outlined",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Loader == nil {
+		return nil
+	}
+	if !optdiag.HotPath(pass.Pkg.Path()) {
+		return nil
+	}
+	set, err := optdiag.For(pass)
+	if err != nil {
+		return err
+	}
+	prog, err := ssair.For(pass)
+	if err != nil {
+		return err
+	}
+	pkg, err := pass.Loader.LoadPath(pass.Pkg.Path())
+	if err != nil {
+		return err
+	}
+	idx := ssair.NewPosIndex(prog, pkg)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			check(pass, set, idx, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *lint.Pass, set *optdiag.Set, idx *ssair.PosIndex, call *ast.CallExpr) {
+	cp := pass.Fset.Position(call.Pos())
+	depth, _, ok := idx.Depth(cp.Filename, cp.Line, cp.Column)
+	if !ok || depth < 2 {
+		return
+	}
+	name, reason := verdict(pass, set, call)
+	if reason == "" {
+		return
+	}
+	if pass.Annotated(call.Pos(), "outlined") {
+		return
+	}
+	pass.ReportDepthf(call.Pos(), depth,
+		"call to %s in a depth-%d scheduling loop is not inlined: %s "+
+			"(shrink or split the callee, or //lint:outlined)",
+		name, depth, reason)
+}
+
+// verdict returns the called function's display name and the
+// compiler's non-inlining reason, or "" when the call was inlined or
+// no verdict is available.
+func verdict(pass *lint.Pass, set *optdiag.Set, call *ast.CallExpr) (name, reason string) {
+	cp := pass.Fset.Position(call.Pos())
+	// Call-site verdict: the compiler anchors cannotInlineCall at the
+	// call expression; accept any on the same line (column drift across
+	// expression shapes is common).
+	for _, d := range set.At(cp.Filename, cp.Line) {
+		if d.Code == "cannotInlineCall" && d.Message != "" {
+			return lint.ExprString(call.Fun), d.Message
+		}
+	}
+	// Callee verdict: cannotInlineFunction is anchored at the callee's
+	// declaring identifier, which is exactly types.Func.Pos().
+	callee := lint.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || !callee.Pos().IsValid() {
+		return "", ""
+	}
+	dp := pass.Fset.Position(callee.Pos())
+	for _, d := range set.At(dp.Filename, dp.Line) {
+		if d.Code == "cannotInlineFunction" && d.Col == dp.Column {
+			return callee.Name(), d.Message
+		}
+	}
+	return "", ""
+}

@@ -1,0 +1,12 @@
+package noinline_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/lint/linttest"
+	"schedcomp/internal/lint/noinline"
+)
+
+func TestNoinline(t *testing.T) {
+	linttest.Run(t, "testdata", noinline.Analyzer, "schedcomp/internal/heuristics/inldemo")
+}

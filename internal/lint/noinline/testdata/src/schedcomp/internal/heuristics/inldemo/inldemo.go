@@ -1,0 +1,47 @@
+// Package inldemo exercises noinline: calls in depth>=2 loops whose
+// callee the compiler refused to inline. The go:noinline pragma gives
+// a version-stable rejection reason.
+package inldemo
+
+//go:noinline
+func heavy(x int) int {
+	return x*x + 3
+}
+
+func small(x int) int {
+	return x + 1
+}
+
+// Grid calls a rejected callee at depth 2: finding, with the
+// compiler's reason. The inlinable small() call produces none.
+func Grid(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += heavy(i * j) // want `noinline: call to heavy in a depth-2 scheduling loop is not inlined: marked go:noinline`
+			s += small(j)
+		}
+	}
+	return s
+}
+
+// Shallow calls the rejected callee at depth 1 only: below the gate,
+// no finding.
+func Shallow(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += heavy(i)
+	}
+	return s
+}
+
+// Waived keeps the call outlined on purpose.
+func Waived(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += heavy(i + j) //lint:outlined
+		}
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package optdiag
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzOptDiagParse hammers the LoggedOpt parser with mutated compiler
+// logs. The committed seed corpus (testdata/fuzz/FuzzOptDiagParse) was
+// taken from a real `go build -gcflags=-json=0,<dir>` run over
+// internal/heuristics/ez plus hand-broken variants: truncated,
+// foreign-version, and malformed lines. The invariant: ParseLog either
+// returns a structurally valid log or an error — never a panic, and
+// never a "successful" parse with invalid diagnostics that would let
+// the perf gate pass vacuously.
+func FuzzOptDiagParse(f *testing.F) {
+	f.Add([]byte(sampleLog))
+	f.Add([]byte(sampleHeader + "\n"))
+	f.Add([]byte(strings.Replace(sampleHeader, `"version":0`, `"version":2`, 1)))
+	f.Add([]byte("{\"version\":0}\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ParseLog(data)
+		if err != nil {
+			if log != nil {
+				t.Fatal("ParseLog returned both a log and an error")
+			}
+			return
+		}
+		if log.SourceFile == "" {
+			t.Fatal("accepted log has empty SourceFile")
+		}
+		for _, d := range log.Diags {
+			if d.Code == "" {
+				t.Fatalf("accepted diagnostic with empty code: %+v", d)
+			}
+			if d.Line < 1 {
+				t.Fatalf("accepted diagnostic with non-positive line: %+v", d)
+			}
+			if d.File != log.SourceFile {
+				t.Fatalf("diagnostic file %q differs from log source %q", d.File, log.SourceFile)
+			}
+		}
+	})
+}

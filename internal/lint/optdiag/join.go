@@ -1,0 +1,93 @@
+package optdiag
+
+import (
+	"go/token"
+	"path/filepath"
+
+	"schedcomp/internal/lint"
+)
+
+// Dedup collapses duplicate diagnostics so analyzers report each
+// compiler decision exactly once. Within one (file, line, col, code)
+// key only one entry survives, preferring the variant that carries a
+// message; additionally, the compiler mirrors every messaged escape
+// verdict ("x escapes to heap", code "escape" or "escapes") with a
+// bare empty-message "escape" line at the same position — those bare
+// mirrors are dropped whenever any messaged escape-family entry shares
+// the position. Distinct messaged verdicts at one position (two
+// allocations folded onto a line by inlining) are all kept.
+func Dedup(diags []Diag) []Diag {
+	type pos struct {
+		file      string
+		line, col int
+	}
+	type key struct {
+		pos
+		code string
+	}
+	escMessaged := map[pos]bool{}
+	for _, d := range diags {
+		if escapeFamily(d.Code) && d.Message != "" {
+			escMessaged[pos{d.File, d.Line, d.Col}] = true
+		}
+	}
+	seen := map[key]int{}
+	out := make([]Diag, 0, len(diags))
+	for _, d := range diags {
+		p := pos{d.File, d.Line, d.Col}
+		if escapeFamily(d.Code) && d.Message == "" && escMessaged[p] {
+			continue
+		}
+		k := key{p, d.Code}
+		if i, ok := seen[k]; ok {
+			if out[i].Message == "" && d.Message != "" {
+				out[i] = d
+			}
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, d)
+	}
+	return out
+}
+
+func escapeFamily(code string) bool { return code == "escape" || code == "escapes" }
+
+// PosIn converts a compiler-reported file:line:col back into a
+// token.Pos of the pass package, or NoPos when the file is not part of
+// the package (or the position is out of range — possible when the log
+// and the source tree have drifted).
+func PosIn(pass *lint.Pass, file string, line, col int) token.Pos {
+	file = filepath.Clean(file)
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || filepath.Clean(tf.Name()) != file {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return token.NoPos
+		}
+		p := tf.LineStart(line)
+		if col > 1 {
+			p += token.Pos(col - 1)
+		}
+		if int(p) > tf.Base()+tf.Size() {
+			return token.NoPos
+		}
+		return p
+	}
+	return token.NoPos
+}
+
+// PkgFiles returns the set of (cleaned) source file paths making up the
+// pass package, for filtering a module-wide diagnostic Set down to the
+// package under analysis.
+func PkgFiles(pass *lint.Pass) map[string]bool {
+	out := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		if tf := pass.Fset.File(f.Pos()); tf != nil {
+			out[filepath.Clean(tf.Name())] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package optdiag
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDedup(t *testing.T) {
+	in := []Diag{
+		// Messaged escape + its bare mirror: mirror dropped.
+		{File: "a.go", Line: 10, Col: 5, Code: "escapes", Message: "x escapes to heap"},
+		{File: "a.go", Line: 10, Col: 5, Code: "escape"},
+		// Two distinct messaged verdicts at one position (inlining fold)
+		// plus two bare mirrors: both verdicts kept, mirrors dropped.
+		{File: "a.go", Line: 20, Col: 3, Code: "escapes", Message: "make([]int, n) escapes to heap"},
+		{File: "a.go", Line: 20, Col: 3, Code: "escape", Message: "&T{} escapes to heap"},
+		{File: "a.go", Line: 20, Col: 3, Code: "escape"},
+		{File: "a.go", Line: 20, Col: 3, Code: "escape"},
+		// Bare escape with no messaged sibling: kept (still a decision).
+		{File: "a.go", Line: 30, Col: 1, Code: "escape"},
+		// Identical bounds checks at one position: collapsed to one.
+		{File: "a.go", Line: 40, Col: 2, Code: "isInBounds"},
+		{File: "a.go", Line: 40, Col: 2, Code: "isInBounds"},
+		// Same line, different column: separate decisions.
+		{File: "a.go", Line: 40, Col: 9, Code: "isInBounds"},
+	}
+	out := Dedup(in)
+	want := []Diag{in[0], in[2], in[3], in[6], in[7], in[9]}
+	if len(out) != len(want) {
+		t.Fatalf("Dedup kept %d entries, want %d: %+v", len(out), len(want), out)
+	}
+	for i, w := range want {
+		if !reflect.DeepEqual(out[i], w) {
+			t.Errorf("out[%d] = %+v, want %+v", i, out[i], w)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package optdiag turns the Go compiler's machine-readable
+// optimization log into data the perflint analyzers (hotescape,
+// hotbce, noinline) can join against the ssair loop analysis.
+//
+// The compiler, invoked with -gcflags=-json=0,<dir>, records every
+// optimization decision it makes — escape analysis verdicts, bounds
+// checks it could not eliminate, inlining acceptances and rejections
+// with reasons, nil checks — as LSP-style diagnostics, one JSON file
+// per compiled source file. The ingester here compiles the scheduling
+// hot packages with that flag, parses the LoggedOpt output (ParseLog),
+// and exposes the merged diagnostics as a Set keyed by source
+// position. The compile runs at most once per schedlint process per
+// source root and is shared by all three analyzers.
+//
+// Two compilation modes cover the two ways analyzers run:
+//
+//   - Module mode: the pass package lives in the real module; the
+//     whole hot-package set (Roots) is compiled from the module root
+//     in one `go build` invocation, so cross-package joins (a callee's
+//     inlining rejection lives in the callee's package log) work.
+//   - Testdata mode: the pass package is a linttest testdata package
+//     (its directory path contains a "testdata" element). The package
+//     is copied to a scratch module and compiled alone; diagnostic
+//     file paths are mapped back to the original testdata files so
+//     position joins behave identically to module mode.
+package optdiag
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"schedcomp/internal/lint"
+)
+
+// Roots are the module-relative directories of the scheduling hot
+// packages: the paths whose inner loops dominate schedbench and whose
+// optimization regressions the perf budget gates. Every package at or
+// under a root is compiled with diagnostics on (test helper packages
+// matching an Exclude fragment are skipped).
+var Roots = []string{
+	"internal/bitset",
+	"internal/clan",
+	"internal/core",
+	"internal/dag",
+	"internal/gen",
+	"internal/heuristics",
+	"internal/pq",
+	"internal/sched",
+}
+
+// Exclude lists path fragments removed from the hot set (test support
+// code that never runs in the serving path).
+var Exclude = []string{"schedtest"}
+
+// HotPath reports whether the import path is part of the policed hot
+// set.
+func HotPath(path string) bool {
+	for _, ex := range Exclude {
+		if strings.Contains(path, ex) {
+			return false
+		}
+	}
+	for _, root := range Roots {
+		if strings.Contains(path, root) {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is the merged optimization log of one compile: every diagnostic
+// of every compiled file, queryable by exact source position.
+type Set struct {
+	GcVersion string
+	diags     []Diag
+	byPos     map[fileLine][]int // indices into diags
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// All returns every diagnostic, in deterministic (file, line, col,
+// code) order.
+func (s *Set) All() []Diag { return s.diags }
+
+// At returns the diagnostics at the exact file and line.
+func (s *Set) At(file string, line int) []Diag {
+	idxs := s.byPos[fileLine{file, line}]
+	out := make([]Diag, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, s.diags[i])
+	}
+	return out
+}
+
+// Files returns the set of source files that have at least one
+// diagnostic.
+func (s *Set) Files() map[string]bool {
+	out := make(map[string]bool)
+	for k := range s.byPos {
+		out[k.file] = true
+	}
+	return out
+}
+
+func newSet(logs []*FileLog) *Set {
+	s := &Set{byPos: map[fileLine][]int{}}
+	for _, l := range logs {
+		if s.GcVersion == "" {
+			s.GcVersion = l.GcVersion
+		}
+		s.diags = append(s.diags, l.Diags...)
+	}
+	sort.SliceStable(s.diags, func(i, j int) bool {
+		a, b := s.diags[i], s.diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+	for i, d := range s.diags {
+		k := fileLine{d.File, d.Line}
+		s.byPos[k] = append(s.byPos[k], i)
+	}
+	return s
+}
+
+// cache shares one compile per source root (module root or testdata
+// package dir) per process: the three analyzers and every package pass
+// of a schedlint run reuse it.
+var cache = struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}{m: map[string]*cacheEntry{}}
+
+type cacheEntry struct {
+	once sync.Once
+	set  *Set
+	err  error
+}
+
+// For returns the optimization-log Set relevant to the pass package,
+// compiling on first use. The mutex only guards the cache map; the
+// compile itself runs outside it, serialized per key by the entry's
+// once so concurrent passes block on the result, not on the lock.
+func For(pass *lint.Pass) (*Set, error) {
+	if pass.Loader == nil {
+		return nil, fmt.Errorf("optdiag: pass has no loader")
+	}
+	pkg, err := pass.Loader.LoadPath(pass.Pkg.Path())
+	if err != nil {
+		return nil, err
+	}
+	key := pass.Loader.ModuleRoot
+	testdata := inTestdata(pkg.Dir)
+	if testdata {
+		key = pkg.Dir
+	}
+	cache.mu.Lock()
+	e, ok := cache.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		cache.m[key] = e
+	}
+	cache.mu.Unlock()
+	e.once.Do(func() {
+		if testdata {
+			e.set, e.err = compileTestdataPackage(pkg.Dir)
+		} else {
+			e.set, e.err = compileModuleHotSet(pass.Loader)
+		}
+	})
+	return e.set, e.err
+}
+
+// inTestdata reports whether dir has a path element named "testdata"
+// (the linttest source-root layout).
+func inTestdata(dir string) bool {
+	for _, el := range strings.Split(filepath.ToSlash(dir), "/") {
+		if el == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// hotPackages expands Roots against the module, returning import
+// paths.
+func hotPackages(loader *lint.Loader) ([]string, error) {
+	var patterns []string
+	for _, root := range Roots {
+		patterns = append(patterns, "./"+root+"/...")
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, p := range pkgs {
+		if HotPath(p.Path) {
+			paths = append(paths, p.Path)
+		}
+	}
+	return paths, nil
+}
+
+// compileModuleHotSet compiles every hot package of the module with
+// the optimization log enabled and parses the result.
+func compileModuleHotSet(loader *lint.Loader) (*Set, error) {
+	paths, err := hotPackages(loader)
+	if err != nil {
+		return nil, err
+	}
+	logDir, err := os.MkdirTemp("", "optdiag-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(logDir)
+	args := append([]string{"build", "-gcflags=-json=0," + logDir}, paths...)
+	if err := runGo(loader.ModuleRoot, args...); err != nil {
+		return nil, err
+	}
+	logs, err := parseDir(logDir)
+	if err != nil {
+		return nil, err
+	}
+	return newSet(logs), nil
+}
+
+// compileTestdataPackage copies one testdata package into a scratch
+// module, compiles it with the optimization log enabled, and maps the
+// reported file paths back onto the originals.
+func compileTestdataPackage(dir string) (*Set, error) {
+	scratch, err := os.MkdirTemp("", "optdiag-src-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	copied := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(scratch, name), data, 0o644); err != nil {
+			return nil, err
+		}
+		copied++
+	}
+	if copied == 0 {
+		return nil, fmt.Errorf("optdiag: no Go files to compile in %s", dir)
+	}
+	gomod := "module optdiagprobe\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(scratch, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return nil, err
+	}
+	logDir, err := os.MkdirTemp("", "optdiag-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(logDir)
+	if err := runGo(scratch, "build", "-gcflags=-json=0,"+logDir, "."); err != nil {
+		return nil, err
+	}
+	logs, err := parseDir(logDir)
+	if err != nil {
+		return nil, err
+	}
+	// Map the scratch copies back to the original files so position
+	// joins against the loaded testdata package line up.
+	for _, l := range logs {
+		l.SourceFile = filepath.Join(dir, filepath.Base(l.SourceFile))
+		for i := range l.Diags {
+			l.Diags[i].File = filepath.Join(dir, filepath.Base(l.Diags[i].File))
+		}
+	}
+	return newSet(logs), nil
+}
+
+// runGo invokes the go tool; schedlint requires a toolchain, same as
+// the build it polices.
+func runGo(dir string, args ...string) error {
+	goBin := "go"
+	if root := os.Getenv("GOROOT"); root != "" {
+		if p := filepath.Join(root, "bin", "go"); fileExists(p) {
+			goBin = p
+		}
+	}
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("optdiag: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return nil
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
+}
+
+// parseDir walks a -json=0 output tree (one directory per compiled
+// package, URL-escaped, one .json per source file) and parses every
+// log.
+func parseDir(dir string) ([]*FileLog, error) {
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	logs := make([]*FileLog, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		log, err := ParseLog(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		logs = append(logs, log)
+	}
+	return logs, nil
+}

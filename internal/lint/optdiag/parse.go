@@ -1,0 +1,186 @@
+package optdiag
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Diag is one compiler optimization decision, anchored to a source
+// position. Line and Col are 1-based, exactly as the compiler logs
+// them.
+type Diag struct {
+	File    string // source file path as reported by the compiler
+	Line    int
+	Col     int
+	Code    string // "escape", "escapes", "isInBounds", "isSliceInBounds", "cannotInlineFunction", ...
+	Message string
+	Related []Related
+}
+
+// Related is one relatedInformation entry (escape flow steps, inline
+// locations).
+type Related struct {
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+// FileLog is the parsed optimization log of one compiled source file
+// (one .json file under the -json=0,<dir> output tree).
+type FileLog struct {
+	Package    string // import path the compiler compiled the file under
+	GcVersion  string // toolchain that produced the log ("go1.24.0")
+	SourceFile string // absolute path of the compiled source file
+	Diags      []Diag
+}
+
+// logHeader is the first line of every LoggedOpt file. Version is a
+// pointer so a line missing the field entirely (not a header at all)
+// is distinguishable from version 0.
+type logHeader struct {
+	Version   *int   `json:"version"`
+	Package   string `json:"package"`
+	GcVersion string `json:"gc_version"`
+	File      string `json:"file"`
+}
+
+// LSP-diagnostic shapes, matching cmd/compile/internal/logopt output.
+type lspPosition struct {
+	Line      int `json:"line"`
+	Character int `json:"character"`
+}
+
+type lspRange struct {
+	Start lspPosition `json:"start"`
+	End   lspPosition `json:"end"`
+}
+
+type lspLocation struct {
+	URI   string   `json:"uri"`
+	Range lspRange `json:"range"`
+}
+
+type lspRelated struct {
+	Location lspLocation `json:"location"`
+	Message  string      `json:"message"`
+}
+
+type lspDiagnostic struct {
+	Range              lspRange     `json:"range"`
+	Severity           int          `json:"severity"`
+	Code               string       `json:"code"`
+	Source             string       `json:"source"`
+	Message            string       `json:"message"`
+	RelatedInformation []lspRelated `json:"relatedInformation"`
+}
+
+// maxLogLine bounds one NDJSON line; the longest real lines (escape
+// flows through deeply inlined call chains) stay well under this.
+const maxLogLine = 1 << 22
+
+// ParseLog parses one LoggedOpt file: a version-0 header line followed
+// by one LSP diagnostic per line. It is deliberately strict — a
+// malformed, truncated, or foreign-version log yields an error, never
+// a panic and never silently dropped diagnostics, because a log that
+// fails to parse must not let the perf gate pass vacuously.
+func ParseLog(data []byte) (*FileLog, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), maxLogLine)
+
+	// Header.
+	var header *logHeader
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var h logHeader
+		if err := json.Unmarshal(raw, &h); err != nil {
+			return nil, fmt.Errorf("optdiag: line %d: malformed header: %v", lineNo, err)
+		}
+		header = &h
+		break
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("optdiag: reading log: %v", err)
+	}
+	if header == nil {
+		return nil, fmt.Errorf("optdiag: empty log (no header line)")
+	}
+	if header.Version == nil {
+		return nil, fmt.Errorf("optdiag: first line is not a LoggedOpt header (no version field)")
+	}
+	if *header.Version != 0 {
+		return nil, fmt.Errorf("optdiag: unsupported LoggedOpt version %d (want 0)", *header.Version)
+	}
+	if header.File == "" {
+		return nil, fmt.Errorf("optdiag: header has no file field")
+	}
+
+	log := &FileLog{
+		Package:    header.Package,
+		GcVersion:  header.GcVersion,
+		SourceFile: header.File,
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var d lspDiagnostic
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return nil, fmt.Errorf("optdiag: line %d: malformed diagnostic: %v", lineNo, err)
+		}
+		if d.Code == "" {
+			return nil, fmt.Errorf("optdiag: line %d: diagnostic has no code", lineNo)
+		}
+		if d.Range.Start.Line < 1 {
+			// Lines are 1-based in LoggedOpt; columns are too, but
+			// synthesized positions may report 0, so only lines gate.
+			return nil, fmt.Errorf("optdiag: line %d: diagnostic line %d is not 1-based",
+				lineNo, d.Range.Start.Line)
+		}
+		diag := Diag{
+			File:    log.SourceFile,
+			Line:    d.Range.Start.Line,
+			Col:     d.Range.Start.Character,
+			Code:    d.Code,
+			Message: d.Message,
+		}
+		for _, r := range d.RelatedInformation {
+			diag.Related = append(diag.Related, Related{
+				File:    uriToPath(r.Location.URI),
+				Line:    r.Location.Range.Start.Line,
+				Col:     r.Location.Range.Start.Character,
+				Message: r.Message,
+			})
+		}
+		log.Diags = append(log.Diags, diag)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("optdiag: reading log: %v", err)
+	}
+	return log, nil
+}
+
+// uriToPath converts a file:// URI back to a filesystem path. Anything
+// that is not a file URI is returned as-is (best effort; related
+// positions are informational).
+func uriToPath(uri string) string {
+	rest, ok := strings.CutPrefix(uri, "file://")
+	if !ok {
+		return uri
+	}
+	if unesc, err := url.PathUnescape(rest); err == nil {
+		return unesc
+	}
+	return rest
+}

@@ -1,0 +1,156 @@
+package optdiag
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleHeader = `{"version":0,"package":"demo","goos":"linux","goarch":"amd64","gc_version":"go1.24.0","file":"/src/demo/a.go"}`
+
+const sampleLog = sampleHeader + `
+{"range":{"start":{"line":7,"character":10},"end":{"line":7,"character":10}},"severity":3,"code":"escape","source":"go compiler","message":"new(int) escapes to heap","relatedInformation":[{"location":{"uri":"file:///src/demo/a.go","range":{"start":{"line":9,"character":2},"end":{"line":9,"character":2}}},"message":"escflow: from return p (return)"}]}
+{"range":{"start":{"line":12,"character":5},"end":{"line":12,"character":5}},"severity":3,"code":"isInBounds","source":"go compiler","message":""}
+`
+
+func TestParseLogValid(t *testing.T) {
+	log, err := ParseLog([]byte(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Package != "demo" || log.GcVersion != "go1.24.0" || log.SourceFile != "/src/demo/a.go" {
+		t.Errorf("header fields wrong: %+v", log)
+	}
+	if len(log.Diags) != 2 {
+		t.Fatalf("got %d diags, want 2", len(log.Diags))
+	}
+	d := log.Diags[0]
+	if d.Code != "escape" || d.Line != 7 || d.Col != 10 || d.File != "/src/demo/a.go" {
+		t.Errorf("first diag wrong: %+v", d)
+	}
+	if len(d.Related) != 1 || d.Related[0].File != "/src/demo/a.go" || d.Related[0].Line != 9 {
+		t.Errorf("related info wrong: %+v", d.Related)
+	}
+	if log.Diags[1].Code != "isInBounds" {
+		t.Errorf("second diag wrong: %+v", log.Diags[1])
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "no header"},
+		{"blank lines only", "\n\n", "no header"},
+		{"not json", "hello\n", "malformed header"},
+		{"no version field", `{"range":{}}` + "\n", "no version field"},
+		{"foreign version", strings.Replace(sampleHeader, `"version":0`, `"version":7`, 1) + "\n", "unsupported LoggedOpt version 7"},
+		{"no file", strings.Replace(sampleHeader, `"file":"/src/demo/a.go"`, `"file":""`, 1) + "\n", "no file field"},
+		{"malformed diag", sampleHeader + "\n{\"range\":{\"start\":\n", "malformed diagnostic"},
+		{"diag without code", sampleHeader + "\n" + `{"range":{"start":{"line":3,"character":1}},"message":"x"}` + "\n", "no code"},
+		{"zero line", sampleHeader + "\n" + `{"range":{"start":{"line":0,"character":1}},"code":"escape"}` + "\n", "not 1-based"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLog([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("ParseLog accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseLogTruncated(t *testing.T) {
+	// Chopping the log anywhere inside a diagnostic line must error,
+	// never panic or silently succeed with fewer diagnostics.
+	full := sampleLog
+	cut := strings.Index(full, "isInBounds")
+	_, err := ParseLog([]byte(full[:cut]))
+	if err == nil {
+		t.Fatal("truncated log parsed cleanly")
+	}
+}
+
+func TestURIToPath(t *testing.T) {
+	if got := uriToPath("file:///a/b%20c.go"); got != "/a/b c.go" {
+		t.Errorf("uriToPath = %q", got)
+	}
+	if got := uriToPath("https://x"); got != "https://x" {
+		t.Errorf("non-file URI should pass through, got %q", got)
+	}
+}
+
+func TestSetLookup(t *testing.T) {
+	log, err := ParseLog([]byte(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSet([]*FileLog{log})
+	if s.GcVersion != "go1.24.0" {
+		t.Errorf("GcVersion = %q", s.GcVersion)
+	}
+	if got := s.At("/src/demo/a.go", 7); len(got) != 1 || got[0].Code != "escape" {
+		t.Errorf("At(7) = %+v", got)
+	}
+	if got := s.At("/src/demo/a.go", 8); len(got) != 0 {
+		t.Errorf("At(8) = %+v, want empty", got)
+	}
+	if len(s.All()) != 2 || !s.Files()["/src/demo/a.go"] {
+		t.Errorf("All/Files wrong: %+v %v", s.All(), s.Files())
+	}
+}
+
+// TestCompileTestdataPackage runs the real ingestion path over a tiny
+// scratch package with a guaranteed escape and a guaranteed
+// uneliminated bounds check.
+func TestCompileTestdataPackage(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "testdata", "probe")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package probe
+
+func Escapes() *int {
+	v := new(int)
+	*v = 41
+	return v
+}
+
+func Bounds(xs []int, idx []int) int {
+	s := 0
+	for i := 0; i < len(idx); i++ {
+		s += xs[idx[i]]
+	}
+	return s
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "probe.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := compileTestdataPackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawEscape, sawBounds bool
+	for _, d := range set.All() {
+		if d.File != filepath.Join(dir, "probe.go") {
+			t.Fatalf("diagnostic file %q not mapped back to the testdata dir", d.File)
+		}
+		switch d.Code {
+		case "escape", "escapes":
+			sawEscape = true
+		case "isInBounds", "isSliceInBounds":
+			sawBounds = true
+		}
+	}
+	if !sawEscape {
+		t.Error("no escape diagnostic for new(int) returned from Escapes")
+	}
+	if !sawBounds {
+		t.Error("no bounds-check diagnostic for xs[idx[i]]")
+	}
+}

@@ -1,0 +1,375 @@
+package ssair
+
+import (
+	"go/token"
+	"path/filepath"
+
+	"schedcomp/internal/lint"
+)
+
+// LoopInfo is the dominator tree and natural-loop nesting of one
+// function's CFG. The syntactic Block.LoopDepth recorded at build time
+// tracks for/range statement nesting; LoopInfo recomputes loop depth
+// from the graph itself (back edges whose target dominates their
+// source, natural-loop bodies collected backward from the back edge),
+// so analyses that rank findings by loop depth do not depend on how
+// the builder happened to shape the blocks.
+//
+// Degraded inputs fall back conservatively rather than silently
+// under-reporting:
+//
+//   - Blocks unreachable from the entry (code after return/break) keep
+//     their syntactic depth.
+//   - If the CFG is irreducible (a retreating edge whose target does
+//     not dominate its source) or the function was built approximately
+//     (fn.Approx: goto or a bare label the builder cannot model, which
+//     may form a loop the CFG does not show), every block's depth is
+//     labeled conservatively as at least 1 and never below its
+//     syntactic depth.
+type LoopInfo struct {
+	fn     *Func
+	rpoNum []int // block index -> reverse-postorder position, -1 when unreachable
+	idom   []int // block index -> immediate dominator block index (-1 for entry/unreachable)
+	depth  []int // block index -> natural-loop nesting depth
+	header []bool
+
+	irreducible  bool
+	conservative bool
+}
+
+// LoopInfo computes (and caches) the dominator/loop analysis of f.
+func (f *Func) LoopInfo() *LoopInfo {
+	if f.loops == nil {
+		f.loops = computeLoopInfo(f.Blocks, f.Approx)
+		f.loops.fn = f
+	}
+	return f.loops
+}
+
+// Depth returns the loop nesting depth of b. See the type comment for
+// the conservative fallbacks.
+func (li *LoopInfo) Depth(b *Block) int {
+	if b == nil {
+		return 0
+	}
+	d := 0
+	if b.Index < len(li.depth) {
+		d = li.depth[b.Index]
+	}
+	if d < b.LoopDepth && (li.conservative || li.rpoNum[b.Index] < 0) {
+		// Unreachable or degraded: never below the syntactic depth.
+		d = b.LoopDepth
+	}
+	if li.conservative && d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// DepthOf returns the loop depth of the block containing v.
+func (li *LoopInfo) DepthOf(v *Value) int { return li.Depth(v.Block) }
+
+// Irreducible reports whether the CFG contained a retreating edge that
+// is not a back edge (only constructible with goto; the builder marks
+// such functions Approx instead, so this is false for built functions
+// and exists for directly-constructed test CFGs).
+func (li *LoopInfo) Irreducible() bool { return li.irreducible }
+
+// Conservative reports whether Depth is using the degraded labeling.
+func (li *LoopInfo) Conservative() bool { return li.conservative }
+
+// IsHeader reports whether b is the header of a natural loop.
+func (li *LoopInfo) IsHeader(b *Block) bool {
+	return b != nil && b.Index < len(li.header) && li.header[b.Index]
+}
+
+// Dominates reports whether a dominates b (reflexively). Unreachable
+// blocks are dominated by nothing and dominate nothing but themselves.
+func (li *LoopInfo) Dominates(a, b *Block) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return li.dominates(a.Index, b.Index)
+}
+
+func (li *LoopInfo) dominates(a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b < 0 || b >= len(li.idom) || li.idom[b] < 0 {
+			return false
+		}
+		b = li.idom[b]
+	}
+}
+
+// ComputeLoopInfo runs the analysis over a raw block list, with entry
+// blocks[0]. Exported so tests can exercise CFG shapes the builder
+// never produces (multi-backedge headers, irreducible regions).
+func ComputeLoopInfo(blocks []*Block, approx bool) *LoopInfo {
+	return computeLoopInfo(blocks, approx)
+}
+
+func computeLoopInfo(blocks []*Block, approx bool) *LoopInfo {
+	n := len(blocks)
+	li := &LoopInfo{
+		rpoNum: make([]int, n),
+		idom:   make([]int, n),
+		depth:  make([]int, n),
+		header: make([]bool, n),
+	}
+	for i := range li.rpoNum {
+		li.rpoNum[i] = -1
+		li.idom[i] = -1
+	}
+	if n == 0 {
+		return li
+	}
+
+	// Successor lists, derived from the stored predecessor edges.
+	succs := make([][]int, n)
+	for _, b := range blocks {
+		for _, p := range b.Preds {
+			succs[p.Index] = append(succs[p.Index], b.Index)
+		}
+	}
+
+	// Reverse postorder over the reachable subgraph.
+	post := make([]int, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	state[0] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(succs[f.b]) {
+			s := succs[f.b][f.next]
+			f.next++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[f.b] = 2
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	for i, b := range rpo {
+		li.rpoNum[b] = i
+	}
+
+	// Iterative dominators (Cooper-Harvey-Kennedy) over the RPO.
+	li.idom[0] = 0 // entry's idom is itself during intersection
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := -1
+			for _, p := range blocks[b].Preds {
+				pi := p.Index
+				if li.rpoNum[pi] < 0 || li.idom[pi] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = pi
+				} else {
+					newIdom = li.intersect(newIdom, pi)
+				}
+			}
+			if newIdom >= 0 && li.idom[b] != newIdom {
+				li.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	li.idom[0] = -1 // entry has no dominator
+
+	// Back edges and natural loops. A retreating edge u->v with v not
+	// dominating u marks the CFG irreducible.
+	bodies := map[int]map[int]bool{} // header -> loop body (incl. header)
+	var headers []int
+	for _, b := range blocks {
+		for _, p := range b.Preds {
+			u, v := p.Index, b.Index
+			if li.rpoNum[u] < 0 || li.rpoNum[v] < 0 {
+				continue
+			}
+			if li.rpoNum[v] > li.rpoNum[u] {
+				continue // forward or cross edge
+			}
+			if !li.dominates(v, u) {
+				li.irreducible = true
+				continue
+			}
+			body := bodies[v]
+			if body == nil {
+				body = map[int]bool{v: true}
+				bodies[v] = body
+				headers = append(headers, v)
+				li.header[v] = true
+			}
+			// Walk predecessors backward from the back-edge source until
+			// the header; everything reached is inside the loop.
+			work := []int{u}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, q := range blocks[x].Preds {
+					if li.rpoNum[q.Index] >= 0 {
+						work = append(work, q.Index)
+					}
+				}
+			}
+		}
+	}
+	for _, h := range headers {
+		for b := range bodies[h] {
+			li.depth[b]++
+		}
+	}
+
+	li.conservative = approx || li.irreducible
+	return li
+}
+
+// intersect walks two dominator-tree paths to their common ancestor.
+func (li *LoopInfo) intersect(a, b int) int {
+	for a != b {
+		for li.rpoNum[a] > li.rpoNum[b] {
+			a = li.idom[a]
+		}
+		for li.rpoNum[b] > li.rpoNum[a] {
+			b = li.idom[b]
+		}
+	}
+	return a
+}
+
+// PosIndex maps source positions of one package to the dominator-based
+// loop depth of the nearest SSA value. It is the join point between
+// external position-keyed diagnostics (the compiler's optimization log)
+// and the IR: a diagnostic lands on file:line:col, the index finds the
+// values the builder emitted on that line, and the closest one (by
+// column) supplies its block's loop depth and enclosing function.
+//
+// Closures inherit depth from their enclosing function: a function
+// literal's body depth is offset by the deepest loop (in the parent) in
+// which the closure value is created or used, accumulated through
+// nested literals. A sort comparator defined before a loop but passed
+// to sort.Slice inside it runs at least once per iteration; its bounds
+// checks belong to that loop, not to depth 0. LoopInfo itself stays a
+// pure per-CFG analysis — the inheritance lives only in this join.
+type PosIndex struct {
+	fset    *token.FileSet
+	entries map[posKey][]posEntry
+}
+
+type posKey struct {
+	file string // full path as recorded in the FileSet
+	line int
+}
+
+type posEntry struct {
+	col   int
+	depth int
+	fn    *Func
+}
+
+// NewPosIndex builds the index over every function (closures included)
+// of pkg within prog.
+func NewPosIndex(prog *Program, pkg *lint.Package) *PosIndex {
+	idx := &PosIndex{fset: prog.Fset(), entries: map[posKey][]posEntry{}}
+	// Program.All lists closures after their parent, so a parent's
+	// offset is always computed before its literals need it.
+	offsets := map[*Func]int{}
+	for _, fn := range prog.All {
+		if fn.Pkg != pkg {
+			continue
+		}
+		off := 0
+		if fn.Parent != nil {
+			off = offsets[fn.Parent] + closureUseDepth(fn)
+		}
+		offsets[fn] = off
+		li := fn.LoopInfo()
+		for _, v := range fn.Values {
+			if !v.Pos.IsValid() {
+				continue
+			}
+			pos := idx.fset.Position(v.Pos)
+			k := posKey{file: pos.Filename, line: pos.Line}
+			idx.entries[k] = append(idx.entries[k], posEntry{col: pos.Column, depth: li.Depth(v.Block) + off, fn: fn})
+		}
+	}
+	return idx
+}
+
+// closureUseDepth returns the deepest loop depth in fn.Parent at which
+// fn's closure value is created or appears as an argument. A closure
+// resolved through a phi (conditional reassignment) is not traced;
+// those uses contribute 0, keeping the inheritance an underestimate
+// rather than a guess.
+func closureUseDepth(fn *Func) int {
+	parent := fn.Parent
+	pli := parent.LoopInfo()
+	d := 0
+	var cv *Value
+	for _, v := range parent.Values {
+		if v.Op == OpClosure && v.Closure == fn {
+			cv = v
+			if dd := pli.Depth(v.Block); dd > d {
+				d = dd
+			}
+		}
+	}
+	if cv == nil {
+		return d
+	}
+	for _, v := range parent.Values {
+		for _, a := range v.Args {
+			if a == cv {
+				if dd := pli.Depth(v.Block); dd > d {
+					d = dd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Depth returns the loop depth at file:line:col — the depth of the
+// value on that line whose column is closest to col (ties prefer the
+// deeper value, so a diagnostic between two candidates is ranked
+// conservatively). ok is false when the builder emitted no value on
+// that line (blank lines, declarations, positions outside pkg).
+func (idx *PosIndex) Depth(file string, line, col int) (depth int, fn *Func, ok bool) {
+	es := idx.entries[posKey{file: filepath.Clean(file), line: line}]
+	if len(es) == 0 {
+		return 0, nil, false
+	}
+	best := es[0]
+	bestDist := dist(best.col, col)
+	for _, e := range es[1:] {
+		d := dist(e.col, col)
+		if d < bestDist || (d == bestDist && e.depth > best.depth) {
+			best, bestDist = e, d
+		}
+	}
+	return best.depth, best.fn, true
+}
+
+func dist(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -151,7 +151,8 @@ type Func struct {
 
 	decl   ast.Node // *ast.FuncDecl or *ast.FuncLit
 	writes map[*types.Var][]*Value
-	frees  []*Value // OpFreeVar values awaiting patching
+	frees  []*Value  // OpFreeVar values awaiting patching
+	loops  *LoopInfo // cached dominator/natural-loop analysis
 }
 
 // DeclPos returns the position of the func declaration (or literal),

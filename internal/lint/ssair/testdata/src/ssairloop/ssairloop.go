@@ -1,0 +1,20 @@
+// Package ssairloop holds functions whose control flow the ssair
+// builder deliberately does not model precisely (goto loops); it is
+// separate from ssairtest so the "no approximate fallbacks" invariant
+// there stays intact.
+package ssairloop
+
+// GotoLoop builds a loop the CFG cannot represent (goto to a bare
+// label): the builder marks the function Approx and the loop analysis
+// must fall back to depth-conservative labeling (every block at least
+// depth 1), because the invisible back edge may make any of it hot.
+func GotoLoop(n int) int {
+	s := 0
+again:
+	s += n * 13
+	n--
+	if n > 0 {
+		goto again
+	}
+	return s
+}

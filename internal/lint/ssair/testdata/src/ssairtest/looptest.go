@@ -1,0 +1,95 @@
+package ssairtest
+
+// NestedLoops pins the dominator-based loop nesting: the outer body is
+// depth 1, the inner body depth 2, and the code after the inner loop
+// (still inside the outer one) depth 1 again.
+func NestedLoops(xs [][]int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		row := 0
+		for j := 0; j < len(xs[i]); j++ {
+			row += xs[i][j]
+		}
+		total += row * 3
+	}
+	return total
+}
+
+// MultiBackedge gives the loop header two distinct back edges (the
+// continue and the normal body end); the loop is still one natural
+// loop of depth 1.
+func MultiBackedge(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			s -= 11
+			continue
+		}
+		s += x * 7
+	}
+	return s
+}
+
+// RangeMap ranges over a map: the body must be depth 1.
+func RangeMap(m map[int]int) int {
+	s := 0
+	for k, v := range m {
+		s += k ^ v
+	}
+	return s
+}
+
+// RangeSliceNested ranges over a slice inside a range over a slice:
+// inner body depth 2.
+func RangeSliceNested(xs [][]int) int {
+	s := 0
+	for _, row := range xs {
+		for _, x := range row {
+			s += x * 5
+		}
+	}
+	return s
+}
+
+// StraightLine has no loops at all: every value must be depth 0 and
+// the function must not be conservative.
+func StraightLine(a, b int) int {
+	c := a*19 + b
+	if c > 100 {
+		c -= 21
+	}
+	return c
+}
+
+// callCmp stands in for sort.Slice: it invokes the comparator in a
+// loop of its own, so a caller passing a closure from inside a loop is
+// running that closure's body at least once per iteration.
+func callCmp(n int, less func(i, j int) bool) int {
+	c := 0
+	for i := 1; i < n; i++ {
+		if less(i-1, i) {
+			c++
+		}
+	}
+	return c
+}
+
+// ClosureUsedInLoop mirrors the EZ placement shape: one comparator is
+// defined before the loop but passed to callCmp inside it (its body
+// inherits depth 1 through the PosIndex closure offset), the other is
+// only used outside any loop (its body stays depth 0).
+func ClosureUsedInLoop(xss [][]int) int {
+	var row []int
+	hotLess := func(i, j int) bool {
+		return row[i] < row[j]
+	}
+	coldLess := func(i, j int) bool {
+		return i > j
+	}
+	n := callCmp(4, coldLess)
+	for _, r := range xss {
+		row = r
+		n += callCmp(len(row), hotLess)
+	}
+	return n
+}
