@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchFixture() *BenchResult {
+	return &BenchResult{
+		Spec:         BenchSpec{Seed: 1994, GraphsPerSet: 35, MinNodes: 40, MaxNodes: 120},
+		GraphsPerSec: 100,
+		Heuristics: []HeuristicBench{
+			{Name: "DSC", NsPerGraph: 2000, AllocsPerGraph: 50, BytesPerGraph: 9000, ScheduleHash: "fnv1a:1111111111111111"},
+			{Name: "EZ", NsPerGraph: 9000, AllocsPerGraph: 21000, BytesPerGraph: 2500000, ScheduleHash: "fnv1a:2222222222222222"},
+		},
+	}
+}
+
+func TestCompareBenchIdentical(t *testing.T) {
+	report, err := compareBench(benchFixture(), benchFixture())
+	if err != nil {
+		t.Fatalf("identical results must compare clean: %v", err)
+	}
+	if !strings.Contains(report, "identical") || strings.Contains(report, "MISMATCH") {
+		t.Fatalf("unexpected report:\n%s", report)
+	}
+}
+
+func TestCompareBenchReportsSpeedup(t *testing.T) {
+	oldRes, newRes := benchFixture(), benchFixture()
+	newRes.Heuristics[1].NsPerGraph = 900 // 10x faster, same hashes
+	newRes.Heuristics[1].AllocsPerGraph = 42
+	newRes.GraphsPerSec = 300
+	report, err := compareBench(oldRes, newRes)
+	if err != nil {
+		t.Fatalf("perf-only change must compare clean: %v", err)
+	}
+	if !strings.Contains(report, "(10.00x)") {
+		t.Fatalf("report missing ns/graph speedup ratio:\n%s", report)
+	}
+	if !strings.Contains(report, "(3.00x)") {
+		t.Fatalf("report missing end-to-end throughput ratio:\n%s", report)
+	}
+}
+
+func TestCompareBenchHashMismatchFails(t *testing.T) {
+	oldRes, newRes := benchFixture(), benchFixture()
+	newRes.Heuristics[0].ScheduleHash = "fnv1a:dead000000000000"
+	report, err := compareBench(oldRes, newRes)
+	if err == nil {
+		t.Fatal("hash divergence must fail the comparison")
+	}
+	if !strings.Contains(report, "MISMATCH") || !strings.Contains(err.Error(), "DSC") {
+		t.Fatalf("mismatch not attributed to DSC:\nreport: %s\nerr: %v", report, err)
+	}
+}
+
+func TestCompareBenchSpecMismatchFails(t *testing.T) {
+	oldRes, newRes := benchFixture(), benchFixture()
+	newRes.Spec.Seed++
+	if _, err := compareBench(oldRes, newRes); err == nil {
+		t.Fatal("spec mismatch must refuse the comparison")
+	}
+}
+
+func TestCompareBenchMissingHeuristicFails(t *testing.T) {
+	oldRes, newRes := benchFixture(), benchFixture()
+	newRes.Heuristics = newRes.Heuristics[:1]
+	if _, err := compareBench(oldRes, newRes); err == nil {
+		t.Fatal("heuristic missing from the new result must fail the comparison")
+	}
+}

@@ -12,6 +12,7 @@
 // Performance tracking:
 //
 //	schedbench -bench [-benchout FILE] [-golden FILE] [-writegolden FILE]
+//	schedbench -compare old.json new.json
 //	schedbench -cpuprofile cpu.out -memprofile mem.out
 //	schedbench -metrics -trace
 //
@@ -22,6 +23,11 @@
 // against a committed baseline and exits non-zero on any divergence,
 // which is how CI catches unintended behavioural changes riding along
 // with performance work.
+//
+// -compare diffs two -bench result files heuristic by heuristic
+// (ns/graph, allocs/graph, bytes/graph, schedule-hash equality) and
+// exits non-zero when any schedule hash diverged — the same contract
+// as -golden, plus the perf delta report.
 //
 // -metrics enables the internal/obs registry and dumps every counter
 // and histogram in the Prometheus text format on exit; -trace records
@@ -65,8 +71,13 @@ func run() int {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		withMetrics = flag.Bool("metrics", false, "enable the obs registry and dump it (Prometheus text) on exit")
 		withTrace   = flag.Bool("trace", false, "record per-phase spans and print the trace tree on exit")
+		compare     = flag.Bool("compare", false, "compare two -bench result files (old.json new.json): print per-heuristic deltas, exit non-zero when any schedule hash diverged")
 	)
 	flag.Parse()
+
+	if *compare {
+		return runCompareMode(flag.Args())
+	}
 
 	if *withMetrics {
 		obs.Default().SetEnabled(true)
@@ -226,6 +237,34 @@ func run() int {
 			fmt.Println(t)
 		}
 	}
+	return 0
+}
+
+// runCompareMode diffs two previously written -bench results. Output
+// changes (hash divergence, a heuristic present on only one side) exit
+// non-zero; performance deltas are informational.
+func runCompareMode(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: schedbench -compare old.json new.json")
+		return 2
+	}
+	oldRes, err := loadBench(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		return 1
+	}
+	newRes, err := loadBench(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		return 1
+	}
+	report, err := compareBench(oldRes, newRes)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "COMPARE FAILED:", err)
+		return 1
+	}
+	fmt.Printf("all %d schedule hashes identical (%s vs %s)\n", len(newRes.Heuristics), args[0], args[1])
 	return 0
 }
 

@@ -1,0 +1,127 @@
+// Package arena provides pooled, graph-sized scratch memory for the
+// scheduling hot paths.
+//
+// The heuristics, the timing builder, the clan parser and the graph
+// generator all need short-lived working arrays sized to the graph —
+// per-node levels, cluster indices, visited flags, bit sets. Allocating
+// them per call is what the perflint pack keeps flagging: the arrays
+// escape, the garbage collector churns, and the inner loops stall on
+// cold memory. A Scratch is a bump allocator over a handful of typed
+// backing slices, recycled through a sync.Pool: Get one at the top of a
+// call, carve as many zeroed slices out of it as needed, and Release it
+// on the way out. Steady state performs no heap allocation at all.
+//
+// Contract:
+//
+//   - A Scratch is single-goroutine; share slices, not the Scratch.
+//   - Every slice carved from a Scratch is zeroed and capacity-clipped
+//     (appending beyond its length reallocates instead of stomping a
+//     neighbour).
+//   - All slices die at Release: they must not be stored anywhere that
+//     outlives the call. Results that escape must be allocated normally.
+package arena
+
+import (
+	"sync"
+
+	"schedcomp/internal/bitset"
+	"schedcomp/internal/dag"
+)
+
+// chunk is one typed bump region. take hands out zeroed, self-capped
+// sub-slices and grows the backing geometrically when exhausted; old
+// backings stay alive (and valid) through the slices already handed
+// out, and are garbage once those die at Release.
+type chunk[T any] struct {
+	buf []T
+	off int
+}
+
+func (c *chunk[T]) take(n int) []T {
+	if n < 0 {
+		panic("arena: negative scratch length")
+	}
+	if len(c.buf)-c.off < n {
+		size := 2 * len(c.buf)
+		if size < n {
+			size = n
+		}
+		if size < 64 {
+			size = 64
+		}
+		c.buf = make([]T, size)
+		c.off = 0
+	}
+	s := c.buf[c.off : c.off+n : c.off+n]
+	c.off += n
+	clear(s)
+	return s
+}
+
+func (c *chunk[T]) reset() { c.off = 0 }
+
+// Scratch is a pooled bump allocator for the scratch types the hot
+// paths use. The zero value is usable, but callers should obtain one
+// with Get so backings are recycled.
+type Scratch struct {
+	i64   chunk[int64]
+	i32   chunk[int32]
+	ints  chunk[int]
+	bools chunk[bool]
+	words chunk[uint64]
+	ids   chunk[dag.NodeID]
+	sets  chunk[bitset.Set]
+}
+
+var pool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// Get returns a Scratch from the pool.
+func Get() *Scratch { return pool.Get().(*Scratch) }
+
+// Release resets the scratch and returns it to the pool. Every slice
+// carved from it becomes invalid.
+func (s *Scratch) Release() {
+	s.i64.reset()
+	s.i32.reset()
+	s.ints.reset()
+	s.bools.reset()
+	s.words.reset()
+	s.ids.reset()
+	s.sets.reset()
+	pool.Put(s)
+}
+
+// Int64s returns a zeroed []int64 of length n.
+func (s *Scratch) Int64s(n int) []int64 { return s.i64.take(n) }
+
+// Int32s returns a zeroed []int32 of length n.
+func (s *Scratch) Int32s(n int) []int32 { return s.i32.take(n) }
+
+// Ints returns a zeroed []int of length n.
+func (s *Scratch) Ints(n int) []int { return s.ints.take(n) }
+
+// Bools returns a zeroed []bool of length n.
+func (s *Scratch) Bools(n int) []bool { return s.bools.take(n) }
+
+// Words returns a zeroed []uint64 of length n.
+func (s *Scratch) Words(n int) []uint64 { return s.words.take(n) }
+
+// NodeIDs returns a zeroed []dag.NodeID of length n.
+func (s *Scratch) NodeIDs(n int) []dag.NodeID { return s.ids.take(n) }
+
+// Bitset returns an empty bit set of capacity n backed by scratch
+// words. The set is returned by value (no allocation); like every
+// other scratch slice it dies at Release.
+func (s *Scratch) Bitset(n int) bitset.Set {
+	return bitset.Wrap(n, s.Words(bitset.WordsFor(n)))
+}
+
+// Bitsets returns count empty bit sets of capacity n each, every one
+// backed by its own scratch words.
+func (s *Scratch) Bitsets(count, n int) []bitset.Set {
+	out := s.sets.take(count)
+	for i := range out {
+		out[i] = bitset.Wrap(n, s.Words(bitset.WordsFor(n)))
+	}
+	return out
+}

@@ -25,7 +25,29 @@ func New(n int) *Set {
 	if n < 0 {
 		panic("bitset: negative capacity")
 	}
-	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+	return &Set{n: n, words: make([]uint64, WordsFor(n))}
+}
+
+// WordsFor returns the number of backing words a set of capacity n
+// needs, for callers that provide their own storage via Wrap.
+func WordsFor(n int) int {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// Wrap returns a set of capacity n backed by the caller's word slice,
+// whose length must be exactly WordsFor(n). The set is returned by
+// value so that scratch-backed sets (see internal/arena) cost no
+// allocation; the contents of words are kept, so callers wanting an
+// empty set must pass zeroed storage. The set aliases words: it is
+// only valid as long as the backing storage is.
+func Wrap(n int, words []uint64) Set {
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitset: Wrap needs %d words for capacity %d, got %d", WordsFor(n), n, len(words)))
+	}
+	return Set{n: n, words: words}
 }
 
 // Len returns the capacity (universe size) of the set.

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"schedcomp/internal/arena"
 	"schedcomp/internal/bitset"
 	"schedcomp/internal/dag"
 )
@@ -113,11 +114,18 @@ func Parse(g *dag.Graph) (*Tree, error) {
 	for i := range members {
 		members[i] = dag.NodeID(i)
 	}
+	// The BFS scratch (two bit sets and the work stack) lives in pooled
+	// arena memory for the duration of the parse; the tree itself is
+	// built from ordinary allocations since it escapes.
+	scratch := arena.Get()
+	defer scratch.Release()
+	unvisited, tmp := scratch.Bitset(n), scratch.Bitset(n)
 	p := &parser{
 		desc:      desc,
 		anc:       anc,
-		unvisited: bitset.New(n),
-		tmp:       bitset.New(n),
+		unvisited: &unvisited,
+		tmp:       &tmp,
+		stack:     scratch.NodeIDs(n)[:0],
 	}
 	t.Root = p.decompose(members)
 	return t, nil

@@ -20,6 +20,7 @@ func newCacheCounters(kind string) cacheCounters {
 }
 
 var (
+	ccCSR      = newCacheCounters("csr")
 	ccTopo     = newCacheCounters("topo")
 	ccPos      = newCacheCounters("pos")
 	ccBLComm   = newCacheCounters("blevels_comm")
@@ -64,6 +65,8 @@ func (cc cacheCounters) count(hit bool) {
 // after the graph mutates (holders keep a consistent snapshot of the
 // revision they read), but they no longer describe the mutated graph.
 type analysisCache struct {
+	csr *CSR // flat adjacency view; nil until asked for
+
 	hasTopo bool
 	topo    []NodeID
 	topoErr error
@@ -182,9 +185,10 @@ func (g *Graph) criticalPathLengthLocked() (int64, error) {
 		if err != nil {
 			return 0, err
 		}
+		csr := g.csrLocked()
 		var cp int64
 		for i := range lv {
-			if len(g.pred[i]) == 0 && lv[i] > cp {
+			if csr.InDegree(NodeID(i)) == 0 && lv[i] > cp {
 				cp = lv[i]
 			}
 		}

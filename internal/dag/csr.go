@@ -1,0 +1,108 @@
+package dag
+
+// CSR is a flat, struct-of-arrays compressed-sparse-row view of a
+// graph's adjacency: node v's outgoing arcs are SuccTo[SuccOff[v]:
+// SuccOff[v+1]] with weights at the same indices of SuccW, and the
+// incoming mirror works the same way through PredOff/PredFrom/PredW.
+// Arc order matches the mutation-time [][]Arc representation exactly
+// (insertion order per endpoint), so an algorithm ported from
+// Succs/Preds to the CSR view visits neighbours in the identical
+// sequence and produces byte-identical results.
+//
+// The view is materialized lazily into the graph's analysis cache and
+// invalidated by the same generation counter as every other memoized
+// analysis: [][]Arc stays the representation mutations work on, while
+// every scheduler inner loop iterates these contiguous slices with no
+// per-node pointer chase. Like the other cached results, a CSR is a
+// shared read-only snapshot — callers must not write its slices, and a
+// view obtained before a mutation keeps describing the old revision,
+// not the mutated graph.
+type CSR struct {
+	n int
+
+	SuccOff []int32
+	SuccTo  []NodeID
+	SuccW   []int64
+
+	PredOff []int32
+	// PredFrom holds the predecessor node of each incoming arc (what
+	// Preds exposes as Arc.To).
+	PredFrom []NodeID
+	PredW    []int64
+}
+
+// NumNodes returns the number of nodes in the viewed revision.
+func (c *CSR) NumNodes() int { return c.n }
+
+// NumEdges returns the number of edges in the viewed revision.
+func (c *CSR) NumEdges() int { return len(c.SuccTo) }
+
+// Succs returns node v's successor IDs and the matching edge weights.
+func (c *CSR) Succs(v NodeID) ([]NodeID, []int64) {
+	lo, hi := c.SuccOff[v], c.SuccOff[v+1]
+	return c.SuccTo[lo:hi], c.SuccW[lo:hi]
+}
+
+// Preds returns node v's predecessor IDs and the matching edge weights.
+func (c *CSR) Preds(v NodeID) ([]NodeID, []int64) {
+	lo, hi := c.PredOff[v], c.PredOff[v+1]
+	return c.PredFrom[lo:hi], c.PredW[lo:hi]
+}
+
+// OutDegree returns the number of outgoing edges of v.
+func (c *CSR) OutDegree(v NodeID) int { return int(c.SuccOff[v+1] - c.SuccOff[v]) }
+
+// InDegree returns the number of incoming edges of v.
+func (c *CSR) InDegree(v NodeID) int { return int(c.PredOff[v+1] - c.PredOff[v]) }
+
+// CSR returns the flat adjacency view of the current revision,
+// materializing it on first use. The result is memoized per graph
+// revision and shared: callers must treat every slice as read-only.
+func (g *Graph) CSR() *CSR {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.csrLocked()
+}
+
+func (g *Graph) csrLocked() *CSR {
+	c := g.ensureCache()
+	ccCSR.count(c.csr != nil)
+	if c.csr == nil {
+		c.csr = g.buildCSR()
+	}
+	return c.csr
+}
+
+// buildCSR flattens both adjacency mirrors into contiguous arrays. Two
+// backing allocations per direction (IDs and weights) plus the offset
+// arrays — six total, whatever the node count.
+func (g *Graph) buildCSR() *CSR {
+	n := len(g.weights)
+	csr := &CSR{
+		n:        n,
+		SuccOff:  make([]int32, n+1),
+		SuccTo:   make([]NodeID, g.edges),
+		SuccW:    make([]int64, g.edges),
+		PredOff:  make([]int32, n+1),
+		PredFrom: make([]NodeID, g.edges),
+		PredW:    make([]int64, g.edges),
+	}
+	var so, po int32
+	for v := 0; v < n; v++ {
+		csr.SuccOff[v] = so
+		for _, a := range g.succ[v] {
+			csr.SuccTo[so] = a.To
+			csr.SuccW[so] = a.Weight
+			so++
+		}
+		csr.PredOff[v] = po
+		for _, a := range g.pred[v] {
+			csr.PredFrom[po] = a.To
+			csr.PredW[po] = a.Weight
+			po++
+		}
+	}
+	csr.SuccOff[n] = so
+	csr.PredOff[n] = po
+	return csr
+}

@@ -1,0 +1,272 @@
+package dag
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// assertCSRMatches checks every field of the CSR view against the
+// [][]Arc representation: adjacency contents in identical order, both
+// mirrors, degrees, and the derived analyses that now sweep the view.
+func assertCSRMatches(t *testing.T, g *Graph) {
+	t.Helper()
+	csr := g.CSR()
+	n := g.NumNodes()
+	if csr.NumNodes() != n {
+		t.Fatalf("CSR has %d nodes, graph has %d", csr.NumNodes(), n)
+	}
+	if csr.NumEdges() != g.NumEdges() {
+		t.Fatalf("CSR has %d edges, graph has %d", csr.NumEdges(), g.NumEdges())
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		succs, sw := csr.Succs(v)
+		arcs := g.Succs(v)
+		if len(succs) != len(arcs) || csr.OutDegree(v) != len(arcs) {
+			t.Fatalf("node %d: CSR out-degree %d, graph %d", v, len(succs), len(arcs))
+		}
+		for i, a := range arcs {
+			if succs[i] != a.To || sw[i] != a.Weight {
+				t.Fatalf("node %d succ[%d]: CSR (%d,%d), graph (%d,%d)",
+					v, i, succs[i], sw[i], a.To, a.Weight)
+			}
+		}
+		preds, pw := csr.Preds(v)
+		parcs := g.Preds(v)
+		if len(preds) != len(parcs) || csr.InDegree(v) != len(parcs) {
+			t.Fatalf("node %d: CSR in-degree %d, graph %d", v, len(preds), len(parcs))
+		}
+		for i, a := range parcs {
+			if preds[i] != a.To || pw[i] != a.Weight {
+				t.Fatalf("node %d pred[%d]: CSR (%d,%d), graph (%d,%d)",
+					v, i, preds[i], pw[i], a.To, a.Weight)
+			}
+		}
+	}
+}
+
+// oracleTopoLevels recomputes the topological order and b-levels
+// directly over the [][]Arc representation, bypassing the cache and
+// the CSR sweep, as an independent oracle.
+func oracleTopoLevels(t *testing.T, g *Graph) ([]NodeID, []int64) {
+	t.Helper()
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Preds(NodeID(i)))
+	}
+	var ready []NodeID
+	push := func(v NodeID) {
+		i := len(ready)
+		ready = append(ready, v)
+		for i > 0 && ready[i-1] > v {
+			ready[i] = ready[i-1]
+			i--
+		}
+		ready[i] = v
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			push(NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, a := range g.Succs(v) {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				push(a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("oracle: cycle (%d of %d ordered)", len(order), n)
+	}
+	lv := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		var best int64
+		for _, a := range g.Succs(v) {
+			if c := lv[a.To] + a.Weight; c > best {
+				best = c
+			}
+		}
+		lv[v] = g.Weight(v) + best
+	}
+	return order, lv
+}
+
+// TestCSRMatchesAdjacency interleaves random mutations with reads and
+// asserts, after every generation bump, that the freshly materialized
+// CSR view, the topological order and the levels all agree with the
+// [][]Arc representation.
+func TestCSRMatchesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		g := New("csr-equiv")
+		var nodes []NodeID
+		for i := 0; i < 4; i++ {
+			nodes = append(nodes, g.AddNode(int64(1+rng.Intn(9))))
+		}
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(6); {
+			case op == 0:
+				nodes = append(nodes, g.AddNode(int64(1+rng.Intn(9))))
+			case op <= 2: // bias toward inserting edges
+				u := nodes[rng.Intn(len(nodes))]
+				v := nodes[rng.Intn(len(nodes))]
+				if u < v { // forward in ID order keeps it acyclic
+					_ = g.AddEdge(u, v, int64(rng.Intn(7)))
+				}
+			case op == 3:
+				edges := g.Edges()
+				if len(edges) > 0 {
+					e := edges[rng.Intn(len(edges))]
+					g.RemoveEdge(e.From, e.To)
+				}
+			case op == 4:
+				g.SetWeight(nodes[rng.Intn(len(nodes))], int64(1+rng.Intn(9)))
+			default:
+				edges := g.Edges()
+				if len(edges) > 0 {
+					e := edges[rng.Intn(len(edges))]
+					g.SetEdgeWeight(e.From, e.To, int64(rng.Intn(7)))
+				}
+			}
+			if step%2 == 0 {
+				continue // also exercise multi-mutation gaps between reads
+			}
+			assertCSRMatches(t, g)
+			wantOrder, wantLv := oracleTopoLevels(t, g)
+			gotOrder, err := g.TopoOrder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotLv, err := g.BLevels()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantOrder {
+				if gotOrder[i] != wantOrder[i] {
+					t.Fatalf("topo[%d] = %d, oracle %d", i, gotOrder[i], wantOrder[i])
+				}
+			}
+			for i := range wantLv {
+				if gotLv[i] != wantLv[i] {
+					t.Fatalf("level[%d] = %d, oracle %d", i, gotLv[i], wantLv[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCSRMemoizedUntilMutation pins the snapshot contract: the view is
+// shared until the next generation bump, and a view captured before a
+// mutation keeps describing the revision it was read from.
+func TestCSRMemoizedUntilMutation(t *testing.T) {
+	g, a, b, _, _ := buildDiamond(t)
+	c1 := g.CSR()
+	if c2 := g.CSR(); c1 != c2 {
+		t.Fatal("CSR not memoized: second read returned a fresh view")
+	}
+	wantEdges := c1.NumEdges()
+	if !g.RemoveEdge(a, b) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if c1.NumEdges() != wantEdges {
+		t.Fatal("captured CSR snapshot changed under a mutation")
+	}
+	c3 := g.CSR()
+	if c3 == c1 {
+		t.Fatal("CSR view survived a generation bump")
+	}
+	if c3.NumEdges() != wantEdges-1 {
+		t.Fatalf("post-mutation CSR has %d edges, want %d", c3.NumEdges(), wantEdges-1)
+	}
+	succs, _ := c3.Succs(a)
+	for _, to := range succs {
+		if to == b {
+			t.Fatal("post-mutation CSR still lists the removed edge")
+		}
+	}
+}
+
+// TestCSRConcurrentReads hammers the lazy materialization: many
+// goroutines race to be the first to build the view on a cold cache
+// (and to read every other analysis through it) across repeated
+// invalidation rounds. Run with -race in CI.
+func TestCSRConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := New("csr-race")
+	var nodes []NodeID
+	for i := 0; i < 60; i++ {
+		nodes = append(nodes, g.AddNode(int64(1+rng.Intn(9))))
+	}
+	for i := 0; i < 200; i++ {
+		u := nodes[rng.Intn(len(nodes))]
+		v := nodes[rng.Intn(len(nodes))]
+		if u < v {
+			_ = g.AddEdge(u, v, int64(rng.Intn(5)))
+		}
+	}
+
+	for round := 0; round < 8; round++ {
+		// Mutation between rounds (single-threaded, per the graph's
+		// external-synchronization contract) leaves the cache cold.
+		g.SetWeight(nodes[round], int64(10+round))
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan string, 16)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				csr := g.CSR()
+				var touched int64
+				for v := NodeID(0); int(v) < csr.NumNodes(); v++ {
+					_, ws := csr.Succs(v)
+					preds, _ := csr.Preds(v)
+					for _, w := range ws {
+						touched += w
+					}
+					touched += int64(len(preds))
+				}
+				if _, err := g.TopoOrder(); err != nil {
+					errs <- err.Error()
+				}
+				if _, err := g.BLevels(); err != nil {
+					errs <- err.Error()
+				}
+				if csr2 := g.CSR(); csr2 != csr {
+					errs <- "CSR view changed without a mutation"
+				}
+				_ = touched
+			}()
+		}
+		close(start)
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+}
+
+// TestCSREmptyGraph covers the zero-node and zero-edge corners.
+func TestCSREmptyGraph(t *testing.T) {
+	g := New("empty")
+	csr := g.CSR()
+	if csr.NumNodes() != 0 || csr.NumEdges() != 0 {
+		t.Fatalf("empty graph CSR: %d nodes, %d edges", csr.NumNodes(), csr.NumEdges())
+	}
+	v := g.AddNode(3)
+	csr = g.CSR()
+	if csr.NumNodes() != 1 || csr.OutDegree(v) != 0 || csr.InDegree(v) != 0 {
+		t.Fatal("single isolated node CSR malformed")
+	}
+}

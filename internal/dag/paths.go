@@ -35,14 +35,16 @@ func (g *Graph) BLevelsNoComm() ([]int64, error) {
 }
 
 func (g *Graph) computeBLevels(order []NodeID, withComm bool) []int64 {
+	csr := g.csrLocked()
 	lv := make([]int64, g.NumNodes())
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		var best int64
-		for _, a := range g.succ[v] {
-			c := lv[a.To]
+		succs, ws := csr.Succs(v)
+		for j, to := range succs {
+			c := lv[to]
 			if withComm {
-				c += a.Weight
+				c += ws[j]
 			}
 			if c > best {
 				best = c
@@ -62,12 +64,13 @@ func (g *Graph) TLevels() ([]int64, error) {
 }
 
 func (g *Graph) computeTLevels(order []NodeID) []int64 {
+	csr := g.csrLocked()
 	tl := make([]int64, g.NumNodes())
 	for _, v := range order {
 		var best int64
-		for _, a := range g.pred[v] {
-			p := a.To
-			c := tl[p] + g.weights[p] + a.Weight
+		preds, ws := csr.Preds(v)
+		for j, p := range preds {
+			c := tl[p] + g.weights[p] + ws[j]
 			if c > best {
 				best = c
 			}
@@ -95,11 +98,12 @@ func (g *Graph) CriticalPath() ([]NodeID, error) {
 }
 
 func (g *Graph) computeCriticalPath(lv []int64) []NodeID {
+	csr := g.csrLocked()
 	// Start at the source with the greatest level.
 	cur := NodeID(-1)
 	var best int64 = -1
 	for i := range g.weights {
-		if len(g.pred[i]) == 0 && lv[i] > best {
+		if csr.InDegree(NodeID(i)) == 0 && lv[i] > best {
 			best = lv[i]
 			cur = NodeID(i)
 		}
@@ -108,15 +112,16 @@ func (g *Graph) computeCriticalPath(lv []int64) []NodeID {
 		return nil // empty graph
 	}
 	path := []NodeID{cur}
-	for len(g.succ[cur]) > 0 {
+	for csr.OutDegree(cur) > 0 {
 		// Follow the successor that realizes the level.
 		next := NodeID(-1)
 		var rest int64 = -1
-		for _, a := range g.succ[cur] {
-			c := a.Weight + lv[a.To]
+		succs, ws := csr.Succs(cur)
+		for j, to := range succs {
+			c := ws[j] + lv[to]
 			if c > rest {
 				rest = c
-				next = a.To
+				next = to
 			}
 		}
 		if lv[cur] != g.weights[cur]+rest {

@@ -17,11 +17,14 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 }
 
 // computeTopoOrder is the raw Kahn's-algorithm pass behind TopoOrder.
+// It sweeps the flat CSR view rather than the [][]Arc mutation-time
+// representation, as do all the cached analyses below.
 func (g *Graph) computeTopoOrder() ([]NodeID, error) {
+	csr := g.csrLocked()
 	n := g.NumNodes()
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
-		indeg[i] = len(g.pred[i])
+		indeg[i] = csr.InDegree(NodeID(i))
 	}
 	// A simple ordered worklist: ready nodes kept sorted by scanning.
 	// For determinism we use a min-heap behaviour via a sorted insert;
@@ -47,10 +50,11 @@ func (g *Graph) computeTopoOrder() ([]NodeID, error) {
 		v := ready[0]
 		ready = ready[1:]
 		order = append(order, v)
-		for _, a := range g.succ[v] {
-			indeg[a.To]--
-			if indeg[a.To] == 0 {
-				push(a.To)
+		succs, _ := csr.Succs(v)
+		for _, to := range succs {
+			indeg[to]--
+			if indeg[to] == 0 {
+				push(to)
 			}
 		}
 	}
@@ -81,6 +85,7 @@ func (g *Graph) Descendants() ([]*bitset.Set, error) {
 }
 
 func (g *Graph) computeDescendants(order []NodeID) []*bitset.Set {
+	csr := g.csrLocked()
 	n := g.NumNodes()
 	desc := make([]*bitset.Set, n)
 	for i := 0; i < n; i++ {
@@ -88,9 +93,10 @@ func (g *Graph) computeDescendants(order []NodeID) []*bitset.Set {
 	}
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
-		for _, a := range g.succ[v] {
-			desc[v].Add(int(a.To))
-			desc[v].Union(desc[a.To])
+		succs, _ := csr.Succs(v)
+		for _, to := range succs {
+			desc[v].Add(int(to))
+			desc[v].Union(desc[to])
 		}
 	}
 	return desc
@@ -106,15 +112,17 @@ func (g *Graph) Ancestors() ([]*bitset.Set, error) {
 }
 
 func (g *Graph) computeAncestors(order []NodeID) []*bitset.Set {
+	csr := g.csrLocked()
 	n := g.NumNodes()
 	anc := make([]*bitset.Set, n)
 	for i := 0; i < n; i++ {
 		anc[i] = bitset.New(n)
 	}
 	for _, v := range order {
-		for _, a := range g.pred[v] {
-			anc[v].Add(int(a.To))
-			anc[v].Union(anc[a.To])
+		preds, _ := csr.Preds(v)
+		for _, from := range preds {
+			anc[v].Add(int(from))
+			anc[v].Union(anc[from])
 		}
 	}
 	return anc

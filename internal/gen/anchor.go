@@ -3,6 +3,7 @@ package gen
 import (
 	"math/rand"
 
+	"schedcomp/internal/arena"
 	"schedcomp/internal/bitset"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/obs"
@@ -32,7 +33,12 @@ var (
 // tree. The remaining insertions pick arbitrary later nodes and do
 // perturb reachability.
 func adjustAnchor(g *dag.Graph, anchor int, branch map[dag.NodeID]int, descendantBias int, rng *rand.Rand) error {
-	a := &adjuster{g: g, rng: rng, branch: branch, bias: descendantBias}
+	// All of the adjuster's working storage — the private closure copy,
+	// the candidate buffers, the position index — lives in pooled arena
+	// scratch; nothing of it survives the adjustment.
+	scratch := arena.Get()
+	defer scratch.Release()
+	a := &adjuster{g: g, rng: rng, branch: branch, bias: descendantBias, scratch: scratch}
 	if err := a.refresh(); err != nil {
 		return err
 	}
@@ -63,13 +69,14 @@ func adjustAnchor(g *dag.Graph, anchor int, branch map[dag.NodeID]int, descendan
 const defaultDescendantBias = 75
 
 type adjuster struct {
-	g      *dag.Graph
-	rng    *rand.Rand
-	branch map[dag.NodeID]int
-	bias   int
-	pos    []int
-	byPo   []dag.NodeID
-	desc   []*bitset.Set
+	g       *dag.Graph
+	rng     *rand.Rand
+	branch  map[dag.NodeID]int
+	bias    int
+	scratch *arena.Scratch
+	pos     []int
+	byPo    []dag.NodeID
+	desc    []bitset.Set
 	// cand and opts are scratch reused across the (serial) adjustment
 	// loop; the loop runs up to 60·n times per graph.
 	cand []dag.NodeID
@@ -90,7 +97,7 @@ func (a *adjuster) refresh() error {
 	// Read-only snapshot: the adjuster never writes a.pos, and refresh
 	// re-fetches it after every mutation that could invalidate it.
 	a.pos = pos //lint:ownedcopy
-	a.byPo = make([]dag.NodeID, len(pos))
+	a.byPo = a.scratch.NodeIDs(len(pos))
 	for v, p := range pos {
 		a.byPo[p] = dag.NodeID(v)
 	}
@@ -98,10 +105,13 @@ func (a *adjuster) refresh() error {
 	if err != nil {
 		return err
 	}
-	a.desc = make([]*bitset.Set, len(shared))
+	n := a.g.NumNodes()
+	a.desc = a.scratch.Bitsets(len(shared), n)
 	for i, s := range shared {
-		a.desc[i] = s.Clone()
+		a.desc[i].CopyFrom(s)
 	}
+	a.cand = a.scratch.NodeIDs(n)[:0]
+	a.opts = a.scratch.NodeIDs(n)[:0]
 	return nil
 }
 
@@ -112,11 +122,11 @@ func (a *adjuster) recomputeDesc() {
 	genClosureRebuilds.Inc()
 	for i := len(a.byPo) - 1; i >= 0; i-- {
 		x := a.byPo[i]
-		d := a.desc[x]
+		d := &a.desc[x]
 		d.Clear()
 		for _, arc := range a.g.Succs(x) {
 			d.Add(int(arc.To))
-			d.Union(a.desc[arc.To])
+			d.Union(&a.desc[arc.To])
 		}
 	}
 }
@@ -202,7 +212,7 @@ func (a *adjuster) addToLater(u dag.NodeID, sameBranch bool) bool {
 			for x := range a.desc {
 				if dag.NodeID(x) == u || a.desc[x].Contains(int(u)) {
 					a.desc[x].Add(int(v))
-					a.desc[x].Union(a.desc[v])
+					a.desc[x].Union(&a.desc[v])
 				}
 			}
 		}

@@ -25,6 +25,7 @@ package dsc
 import (
 	"context"
 
+	"schedcomp/internal/arena"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/sched"
@@ -61,12 +62,20 @@ func (d *DSC) Name() string { return "DSC" }
 
 type state struct {
 	g       *dag.Graph
+	csr     *dag.CSR       // flat adjacency view of g, same revision
 	cluster []int          // node -> cluster, -1 unscheduled
 	members [][]dag.NodeID // cluster -> ordered tasks
 	free    []int64        // cluster -> time it becomes free
 	st      []int64        // node -> scheduled start time
 	nsched  []int          // node -> count of scheduled predecessors
 	level   []int64        // maintained with zeroed edges
+
+	// Epoch-stamped cluster marks: bestParentCluster and ct2
+	// deduplicate parent clusters against mark (slot live when equal to
+	// markEp), replacing a per-call map without changing which cluster
+	// wins — the map only answered membership, never ordered anything.
+	mark   []int32
+	markEp int32
 
 	// Incremental-maintenance state; nil when running the full
 	// recompute reference path (and in the hand-built unit-test
@@ -89,12 +98,18 @@ func (d *DSC) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placeme
 		return nil, err
 	}
 	n := g.NumNodes()
+	// Per-call working arrays come from the pooled arena; only the
+	// Placement escapes.
+	scratch := arena.Get()
+	defer scratch.Release()
 	s := &state{
 		g:       g,
-		cluster: make([]int, n),
-		st:      make([]int64, n),
-		nsched:  make([]int, n),
-		level:   make([]int64, n),
+		csr:     g.CSR(),
+		cluster: scratch.Ints(n),
+		st:      scratch.Int64s(n),
+		nsched:  scratch.Ints(n),
+		level:   scratch.Int64s(n),
+		mark:    scratch.Int32s(n),
 	}
 	for i := range s.cluster {
 		s.cluster[i] = -1
@@ -115,7 +130,8 @@ func (d *DSC) ScheduleContext(ctx context.Context, g *dag.Graph) (*sched.Placeme
 		// Read-only snapshot of the topo positions captured with the
 		// same generation as `order`; DSC never writes through it.
 		s.pos = pos //lint:ownedcopy
-		s.inHeap = make([]bool, n)
+		s.inHeap = scratch.Bools(n)
+		s.dirty = scratch.NodeIDs(n)[:0]
 	}
 
 	for scheduled := 0; scheduled < n; scheduled++ {
@@ -169,8 +185,9 @@ func (s *state) recomputeLevels(order []dag.NodeID) {
 // levels and effective (cluster-aware) edge weights.
 func (s *state) levelOf(v dag.NodeID) int64 {
 	var best int64
-	for _, a := range s.g.Succs(v) {
-		c := s.level[a.To] + s.effWeight(v, a.To, a.Weight)
+	succs, ws := s.csr.Succs(v)
+	for j, to := range succs {
+		c := s.level[to] + s.effWeight(v, to, ws[j])
 		if c > best {
 			best = c
 		}
@@ -187,9 +204,10 @@ func (s *state) levelOf(v dag.NodeID) int64 {
 // node itself is recomputed, exactly as in the full reverse-topo
 // sweep.
 func (s *state) refreshCone(v dag.NodeID, c int) {
-	for _, a := range s.g.Preds(v) {
-		if s.cluster[a.To] == c {
-			s.pushDirty(a.To)
+	preds, _ := s.csr.Preds(v)
+	for _, p := range preds {
+		if s.cluster[p] == c {
+			s.pushDirty(p)
 		}
 	}
 	for len(s.dirty) > 0 {
@@ -199,8 +217,9 @@ func (s *state) refreshCone(v dag.NodeID, c int) {
 			continue
 		}
 		s.level[u] = nl
-		for _, a := range s.g.Preds(u) {
-			s.pushDirty(a.To)
+		ups, _ := s.csr.Preds(u)
+		for _, p := range ups {
+			s.pushDirty(p)
 		}
 	}
 }
@@ -264,25 +283,25 @@ func (s *state) effWeight(u, v dag.NodeID, w int64) int64 {
 // isFree reports whether v is unscheduled with every predecessor
 // scheduled.
 func (s *state) isFree(v dag.NodeID) bool {
-	return s.cluster[v] == -1 && s.nsched[v] == len(s.g.Preds(v))
+	return s.cluster[v] == -1 && s.nsched[v] == s.csr.InDegree(v)
 }
 
 // isPartialFree reports whether v is unscheduled with at least one
 // scheduled and at least one unscheduled predecessor.
 func (s *state) isPartialFree(v dag.NodeID) bool {
-	return s.cluster[v] == -1 && s.nsched[v] > 0 && s.nsched[v] < len(s.g.Preds(v))
+	return s.cluster[v] == -1 && s.nsched[v] > 0 && s.nsched[v] < s.csr.InDegree(v)
 }
 
 // startBound is the paper's startbound: the earliest v could start on a
 // fresh cluster, i.e. the max arrival time over scheduled predecessors.
 func (s *state) startBound(v dag.NodeID) int64 {
 	var b int64
-	for _, a := range s.g.Preds(v) {
-		p := a.To
+	preds, ws := s.csr.Preds(v)
+	for j, p := range preds {
 		if s.cluster[p] == -1 {
 			continue
 		}
-		t := s.st[p] + s.g.Weight(p) + a.Weight
+		t := s.st[p] + s.g.Weight(p) + ws[j]
 		if t > b {
 			b = t
 		}
@@ -335,14 +354,14 @@ func (s *state) topPartialFree() dag.NodeID {
 // cluster c, with edges from predecessors inside c zeroed.
 func (s *state) startOn(c int, v dag.NodeID) int64 {
 	t := s.free[c]
-	for _, a := range s.g.Preds(v) {
-		p := a.To
+	preds, ws := s.csr.Preds(v)
+	for j, p := range preds {
 		if s.cluster[p] == -1 {
 			continue
 		}
 		arrive := s.st[p] + s.g.Weight(p)
 		if s.cluster[p] != c {
-			arrive += a.Weight
+			arrive += ws[j]
 		}
 		if arrive > t {
 			t = arrive
@@ -356,13 +375,14 @@ func (s *state) startOn(c int, v dag.NodeID) int64 {
 func (s *state) bestParentCluster(v dag.NodeID) (int, bool) {
 	best, ok := -1, false
 	var bt int64
-	seen := map[int]bool{}
-	for _, a := range s.g.Preds(v) {
-		c := s.cluster[a.To]
-		if c == -1 || seen[c] {
+	s.markEp++
+	preds, _ := s.csr.Preds(v)
+	for _, p := range preds {
+		c := s.cluster[p]
+		if c == -1 || s.mark[c] == s.markEp {
 			continue
 		}
-		seen[c] = true
+		s.mark[c] = s.markEp
 		t := s.startOn(c, v)
 		if !ok || t < bt || (t == bt && c < best) {
 			best, bt, ok = c, t, true
@@ -378,13 +398,14 @@ func (s *state) bestParentCluster(v dag.NodeID) (int, bool) {
 func (s *state) ct2(c int, nx, ny dag.NodeID) bool {
 	bound := s.startBound(ny)
 	newFreeC := s.startOn(c, nx) + s.g.Weight(nx)
-	seen := map[int]bool{}
-	for _, a := range s.g.Preds(ny) {
-		ci := s.cluster[a.To]
-		if ci == -1 || seen[ci] {
+	s.markEp++
+	preds, _ := s.csr.Preds(ny)
+	for _, p := range preds {
+		ci := s.cluster[p]
+		if ci == -1 || s.mark[ci] == s.markEp {
 			continue
 		}
-		seen[ci] = true
+		s.mark[ci] = s.markEp
 		st := s.startOn(ci, ny)
 		if ci == c && newFreeC > st {
 			st = newFreeC
@@ -409,8 +430,9 @@ func (s *state) place(v dag.NodeID, c int) {
 	s.st[v] = start
 	s.free[c] = start + s.g.Weight(v)
 	s.members[c] = append(s.members[c], v)
-	for _, a := range s.g.Succs(v) {
-		s.nsched[a.To]++
+	succs, _ := s.csr.Succs(v)
+	for _, to := range succs {
+		s.nsched[to]++
 	}
 	// A fresh cluster zeroes no edges, so levels are untouched; a
 	// merge zeroes the edges from v's cluster-c predecessors.

@@ -89,10 +89,12 @@ func TestIncrementalLevelInvariant(t *testing.T) {
 		n := g.NumNodes()
 		s := &state{
 			g:       g,
+			csr:     g.CSR(),
 			cluster: make([]int, n),
 			st:      make([]int64, n),
 			nsched:  make([]int, n),
 			level:   make([]int64, n),
+			mark:    make([]int32, n),
 			pos:     pos,
 			inHeap:  make([]bool, n),
 		}
@@ -101,7 +103,7 @@ func TestIncrementalLevelInvariant(t *testing.T) {
 		}
 		copy(s.level, bl)
 
-		ref := &state{g: g, cluster: s.cluster, level: make([]int64, n)}
+		ref := &state{g: g, csr: g.CSR(), cluster: s.cluster, level: make([]int64, n)}
 		for scheduled := 0; scheduled < n; scheduled++ {
 			nx := s.topFree()
 			target := -1

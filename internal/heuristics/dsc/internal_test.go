@@ -16,10 +16,12 @@ func newState(t *testing.T, g *dag.Graph) (*state, []dag.NodeID) {
 	n := g.NumNodes()
 	s := &state{
 		g:       g,
+		csr:     g.CSR(),
 		cluster: make([]int, n),
 		st:      make([]int64, n),
 		nsched:  make([]int, n),
 		level:   make([]int64, n),
+		mark:    make([]int32, n),
 	}
 	for i := range s.cluster {
 		s.cluster[i] = -1

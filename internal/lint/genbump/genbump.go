@@ -11,9 +11,11 @@
 //     analysis input) is waived with //lint:nobump.
 //
 //  2. Slices returned by the cached analyses (TopoOrder, BLevels,
-//     CriticalPath, Descendants, ...) are shared, read-only views of
-//     the cache. A taint pass over ssair follows them from the getter
-//     call to mutation sinks: element stores, append (which may write
+//     CriticalPath, Descendants, the CSR adjacency view, ...) are
+//     shared, read-only views of the cache. A taint pass over ssair
+//     follows them from the getter call — including field reads like
+//     csr.SuccTo and the Succs/Preds accessors off a *dag.CSR — to
+//     mutation sinks: element stores, append (which may write
 //     in place), sorting, copy-into, and stores that stash the shared
 //     slice into longer-lived structures. Callers that intend to own
 //     the data must copy first — append([]T(nil), s...) — or waive a
@@ -39,12 +41,21 @@ var Analyzer = &lint.Analyzer{
 }
 
 // cachedGetters are the dag.Graph accessors that return shared views
-// of the analysis cache.
+// of the analysis cache. CSR returns a pointer whose slice fields all
+// alias the cache; the OpField case of the taint propagation follows
+// reads like csr.SuccTo from the pointer to the shared arrays.
 var cachedGetters = map[string]bool{
 	"TopoOrder": true, "TopoPositions": true, "BLevels": true,
 	"BLevelsNoComm": true, "TLevels": true, "ALAPTimes": true,
 	"CriticalPath": true, "Descendants": true, "Ancestors": true,
+	"CSR": true,
 }
+
+// csrGetters are the dag.CSR accessors whose results alias the cached
+// CSR arrays. They seed taint on their own so the shared slices are
+// tracked even when the *CSR was obtained outside the function under
+// analysis (passed in as a parameter or read from a struct).
+var csrGetters = map[string]bool{"Succs": true, "Preds": true}
 
 const dagPath = "schedcomp/internal/dag"
 
@@ -251,9 +262,16 @@ func checkEscapes(pass *lint.Pass, prog *ssair.Program, fn *ssair.Func) {
 	tainted := map[*ssair.Value]string{} // value -> getter name
 	seed := false
 	for _, v := range fn.Values {
-		if v.Op == ssair.OpCall && v.Callee != nil && cachedGetters[v.Callee.Name()] &&
-			ssair.MethodOn(v.Callee, dagPath, "Graph", v.Callee.Name()) {
-			tainted[v] = v.Callee.Name()
+		if v.Op != ssair.OpCall || v.Callee == nil {
+			continue
+		}
+		name := v.Callee.Name()
+		switch {
+		case cachedGetters[name] && ssair.MethodOn(v.Callee, dagPath, "Graph", name):
+			tainted[v] = name
+			seed = true
+		case csrGetters[name] && ssair.MethodOn(v.Callee, dagPath, "CSR", name):
+			tainted[v] = "CSR()." + name
 			seed = true
 		}
 	}
@@ -273,7 +291,7 @@ func checkEscapes(pass *lint.Pass, prog *ssair.Program, fn *ssair.Func) {
 			}
 			switch v.Op {
 			case ssair.OpExtract, ssair.OpPhi, ssair.OpSliceExpr, ssair.OpConvert,
-				ssair.OpIndex, ssair.OpRangeVal, ssair.OpFreeVar:
+				ssair.OpIndex, ssair.OpRangeVal, ssair.OpFreeVar, ssair.OpField:
 				for _, a := range v.Args {
 					if src := tainted[a]; src != "" {
 						tainted[v] = src

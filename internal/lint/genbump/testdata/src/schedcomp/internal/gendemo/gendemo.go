@@ -167,3 +167,67 @@ func Snapshot(g *dag.Graph, h *holder) error {
 	h.pos = pos //lint:ownedcopy read-only snapshot, refreshed after every mutation
 	return nil
 }
+
+// ---- part 3: the CSR adjacency view is cache-backed too ----
+
+// csrHolder outlives the call that filled it.
+type csrHolder struct {
+	succ []dag.NodeID
+}
+
+// ZeroCSRField writes into a CSR array reached through a field read
+// off the shared view.
+func ZeroCSRField(g *dag.Graph) {
+	csr := g.CSR()
+	csr.SuccW[0] = 0 // want `genbump: write into the shared slice returned by \(\*dag\.Graph\)\.CSR`
+}
+
+// StashCSRField retains a CSR array past the next mutation.
+func StashCSRField(g *dag.Graph, h *csrHolder) {
+	csr := g.CSR()
+	h.succ = csr.SuccTo // want `genbump: shared slice returned by \(\*dag\.Graph\)\.CSR stored into a structure`
+}
+
+// SortCSRAccessor reorders the cached arrays through the Succs
+// accessor, even though the *CSR came in from outside.
+func SortCSRAccessor(csr *dag.CSR, v dag.NodeID) {
+	succs, _ := csr.Succs(v)
+	sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] }) // want `genbump: sorting the shared slice returned by \(\*dag\.Graph\)\.CSR\(\)\.Succs`
+}
+
+// GrowCSRAccessor appends to a Preds window, which may write into the
+// adjacent arc's slot in the flat array.
+func GrowCSRAccessor(csr *dag.CSR, v dag.NodeID) []dag.NodeID {
+	preds, _ := csr.Preds(v)
+	return append(preds, 0) // want `genbump: append to the shared slice returned by \(\*dag\.Graph\)\.CSR\(\)\.Preds`
+}
+
+// lastSuccs is a package-level retention target: globals outlive
+// every call, so stashing a shared view there is the same escape as
+// a struct-field store.
+var lastSuccs []dag.NodeID
+
+// StashCSRGlobal retains a CSR array in a package-level variable.
+func StashCSRGlobal(g *dag.Graph) {
+	lastSuccs = g.CSR().SuccTo // want `genbump: shared slice returned by \(\*dag\.Graph\)\.CSR stored into a structure`
+}
+
+// ReadCSR only reads scalars out of the view — element values are
+// owned copies, and degree arithmetic never aliases the cache.
+func ReadCSR(g *dag.Graph, v dag.NodeID) int64 {
+	csr := g.CSR()
+	var sum int64
+	preds, ws := csr.Preds(v)
+	for i, u := range preds {
+		sum += int64(u) + ws[i]
+	}
+	return sum + int64(csr.OutDegree(v))
+}
+
+// CloneCSRWindow copies before sorting — the sanctioned shape.
+func CloneCSRWindow(csr *dag.CSR, v dag.NodeID) []dag.NodeID {
+	succs, _ := csr.Succs(v)
+	own := append([]dag.NodeID(nil), succs...)
+	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+	return own
+}

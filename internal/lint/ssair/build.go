@@ -497,6 +497,19 @@ func (b *builder) assignTo(lhs ast.Expr, val *Value, pos token.Pos) {
 			obj = b.info.Uses[id]
 		}
 		if v, ok := obj.(*types.Var); ok {
+			if isPkgLevel(v) {
+				// A package-level variable outlives the call, so the
+				// write is an escape like any composite store: emit an
+				// OpStore over the old global value so per-function
+				// sink scans see it, and record the store as the
+				// global's new version for cross-function reads.
+				old := b.emit(OpGlobal, v.Type(), id.Pos())
+				old.Var = v
+				st := b.emit(OpStore, b.typeOf(lhs), pos, old, val)
+				st.Var = v
+				b.writeVar(v, st)
+				return
+			}
 			b.writeVar(v, val)
 		}
 		return

@@ -2,8 +2,8 @@ package sched
 
 import (
 	"fmt"
-	"sync"
 
+	"schedcomp/internal/arena"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/obs"
 )
@@ -49,64 +49,8 @@ func BuildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) 
 	return buildWith(g, pl, delay)
 }
 
-// buildScratch holds the timing builder's working arrays. The full
-// testbed calls Build once per (graph, heuristic) pair, so the scratch
-// is pooled per worker instead of reallocated each time; only the
-// resulting Schedule's ByNode escapes.
-type buildScratch struct {
-	done   []bool
-	finish []int64
-	head   []int
-	free   []int64
-	// cand[p] caches processor p's candidate start time (candBlocked
-	// when its queue head is not ready or the queue is empty);
-	// candDirty marks entries that must be recomputed this round.
-	cand      []int64
-	candDirty []bool
-	// Intrusive waiter lists: waiterHead[v] is the first processor
-	// whose queue head is blocked on node v, waiterNext chains the
-	// rest. Each processor waits on at most one node at a time.
-	waiterHead []int32
-	waiterNext []int32
-}
-
 // candBlocked marks a processor with no schedulable queue head.
 const candBlocked = int64(^uint64(0) >> 1)
-
-var buildPool = sync.Pool{New: func() interface{} { return new(buildScratch) }}
-
-// grow resizes (and zeroes) the scratch for n nodes and p processors.
-func (b *buildScratch) grow(n, p int) {
-	if cap(b.done) < n {
-		b.done = make([]bool, n)
-		b.finish = make([]int64, n)
-		b.waiterHead = make([]int32, n)
-	}
-	b.done = b.done[:n]
-	b.finish = b.finish[:n]
-	b.waiterHead = b.waiterHead[:n]
-	for i := range b.done {
-		b.done[i] = false
-		b.waiterHead[i] = -1
-	}
-	if cap(b.head) < p {
-		b.head = make([]int, p)
-		b.free = make([]int64, p)
-		b.cand = make([]int64, p)
-		b.candDirty = make([]bool, p)
-		b.waiterNext = make([]int32, p)
-	}
-	b.head = b.head[:p]
-	b.free = b.free[:p]
-	b.cand = b.cand[:p]
-	b.candDirty = b.candDirty[:p]
-	b.waiterNext = b.waiterNext[:p]
-	for i := range b.head {
-		b.head[i] = 0
-		b.free[i] = 0
-		b.candDirty[i] = true
-	}
-}
 
 // buildWith is BuildWith for placements already known to pass Check.
 //
@@ -129,17 +73,31 @@ func buildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) 
 	if n == 0 {
 		return s, nil
 	}
-	scratch := buildPool.Get().(*buildScratch)
-	defer buildPool.Put(scratch)
-	scratch.grow(n, numProcs)
-	done := scratch.done
-	finish := scratch.finish
-	head := scratch.head
-	free := scratch.free
-	cand := scratch.cand
-	candDirty := scratch.candDirty
-	waiterHead := scratch.waiterHead
-	waiterNext := scratch.waiterNext
+	csr := g.CSR()
+	// Working arrays come zeroed from the pooled arena; only the
+	// resulting Schedule's ByNode escapes the call.
+	scratch := arena.Get()
+	defer scratch.Release()
+	done := scratch.Bools(n)
+	finish := scratch.Int64s(n)
+	// waiterHead[v] is the first processor whose queue head is blocked
+	// on node v, waiterNext chains the rest (each processor waits on at
+	// most one node at a time).
+	waiterHead := scratch.Int32s(n)
+	head := scratch.Ints(numProcs)
+	free := scratch.Int64s(numProcs)
+	// cand[p] caches processor p's candidate start time (candBlocked
+	// when its queue head is not ready or the queue is empty);
+	// candDirty marks entries that must be recomputed this round.
+	cand := scratch.Int64s(numProcs)
+	candDirty := scratch.Bools(numProcs)
+	waiterNext := scratch.Int32s(numProcs)
+	for i := range waiterHead {
+		waiterHead[i] = -1
+	}
+	for p := range candDirty {
+		candDirty[p] = true
+	}
 	remaining := n
 	var candHits, candMisses, wakeups uint64
 	for remaining > 0 {
@@ -157,16 +115,17 @@ func buildWith(g *dag.Graph, pl *Placement, delay DelayFunc) (*Schedule, error) 
 			v := pl.Order[p][head[p]]
 			var start int64
 			ready := true
-			for _, e := range g.Preds(v) {
-				if !done[e.To] {
+			preds, ws := csr.Preds(v)
+			for j, u := range preds {
+				if !done[u] {
 					// Park p on the first unfinished predecessor; its
 					// completion re-dirties the candidate.
-					waiterNext[p] = waiterHead[e.To]
-					waiterHead[e.To] = int32(p)
+					waiterNext[p] = waiterHead[u]
+					waiterHead[u] = int32(p)
 					ready = false
 					break
 				}
-				if t := finish[e.To] + delay(pl.Proc[e.To], p, e.Weight); t > start {
+				if t := finish[u] + delay(pl.Proc[u], p, ws[j]); t > start {
 					start = t
 				}
 			}
@@ -231,14 +190,16 @@ func (s *Schedule) ValidateWith(delay DelayFunc) error {
 	if len(s.ByNode) != g.NumNodes() {
 		return fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.ByNode), g.NumNodes())
 	}
+	csr := g.CSR()
 	for v := 0; v < g.NumNodes(); v++ {
 		av := s.ByNode[v]
-		for _, e := range g.Preds(dag.NodeID(v)) {
-			ap := s.ByNode[e.To]
-			ready := ap.Finish + delay(ap.Proc, av.Proc, e.Weight)
+		preds, ws := csr.Preds(dag.NodeID(v))
+		for j, u := range preds {
+			ap := s.ByNode[u]
+			ready := ap.Finish + delay(ap.Proc, av.Proc, ws[j])
 			if av.Start < ready {
 				return fmt.Errorf("sched: node %d starts at %d before data from %d ready at %d",
-					v, av.Start, e.To, ready)
+					v, av.Start, u, ready)
 			}
 		}
 	}

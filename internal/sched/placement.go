@@ -13,6 +13,7 @@ package sched
 import (
 	"fmt"
 
+	"schedcomp/internal/arena"
 	"schedcomp/internal/dag"
 )
 
@@ -69,7 +70,9 @@ func (pl *Placement) NumProcs() int {
 // empty ones removed, preserving relative order. It returns pl for
 // chaining.
 func (pl *Placement) Compact() *Placement {
-	remap := make([]int, len(pl.Order))
+	scratch := arena.Get()
+	defer scratch.Release()
+	remap := scratch.Ints(len(pl.Order))
 	var orders [][]dag.NodeID
 	for p, q := range pl.Order {
 		if len(q) == 0 {
@@ -95,7 +98,9 @@ func (pl *Placement) Check(g *dag.Graph) error {
 	if len(pl.Proc) != n {
 		return fmt.Errorf("sched: placement for %d nodes, graph has %d", len(pl.Proc), n)
 	}
-	seen := make([]bool, n)
+	scratch := arena.Get()
+	defer scratch.Release()
+	seen := scratch.Bools(n)
 	for p, q := range pl.Order {
 		for _, v := range q {
 			if int(v) < 0 || int(v) >= n {
