@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schedcomp/internal/corpus"
@@ -30,13 +32,25 @@ type loadConfig struct {
 	Seed      int64
 	MinNodes  int
 	MaxNodes  int
+	// Dup is the fraction of requests drawn from a fixed pool of
+	// repeated content: identical, renamed, and relabeled (isomorphic)
+	// copies of the corpus graphs. The remaining requests are
+	// content-unique weight perturbations, so a schedule cache can
+	// never serve them from a prior entry.
+	Dup float64
 }
 
 // Report aggregates one load run. Serialized as the CI artifact.
+//
+// latency_* quantiles cover served (200) responses only; shed (429)
+// responses get their own shed_latency_* quantiles. Request timeouts
+// (503) appear in neither — their latency is the deadline, not a
+// measurement.
 type Report struct {
 	Heuristic          string  `json:"heuristic"`
 	Batch              int     `json:"batch"`
 	Clients            int     `json:"clients"`
+	DupRatio           float64 `json:"dup_ratio"`
 	DurationSeconds    float64 `json:"duration_seconds"`
 	Requests           int     `json:"requests"`
 	Items              int     `json:"items"`
@@ -47,10 +61,17 @@ type Report struct {
 	ValidationFailures int     `json:"validation_failures"`
 	ShedRate           float64 `json:"shed_rate"`
 	ItemsPerSecond     float64 `json:"items_per_second"`
+	CacheHits          int     `json:"cache_hits"`
+	CacheMisses        int     `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
 	LatencyP50Ms       float64 `json:"latency_p50_ms"`
 	LatencyP90Ms       float64 `json:"latency_p90_ms"`
 	LatencyP99Ms       float64 `json:"latency_p99_ms"`
 	LatencyMaxMs       float64 `json:"latency_max_ms"`
+	ShedLatencyP50Ms   float64 `json:"shed_latency_p50_ms"`
+	ShedLatencyP90Ms   float64 `json:"shed_latency_p90_ms"`
+	ShedLatencyP99Ms   float64 `json:"shed_latency_p99_ms"`
+	ShedLatencyMaxMs   float64 `json:"shed_latency_max_ms"`
 }
 
 // Print writes the human-readable summary.
@@ -65,8 +86,16 @@ func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "  shed       %d (rate %.1f%%)\n", r.Shed, 100*r.ShedRate)
 	fmt.Fprintf(w, "  timeouts   %d\n", r.Timeouts)
 	fmt.Fprintf(w, "  errors     %d transport, %d validation\n", r.TransportErrors, r.ValidationFailures)
-	fmt.Fprintf(w, "  latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(w, "  cache      %d hits / %d misses (hit rate %.1f%%)\n",
+			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
+	}
+	fmt.Fprintf(w, "  served ms  p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		r.LatencyP50Ms, r.LatencyP90Ms, r.LatencyP99Ms, r.LatencyMaxMs)
+	if r.Shed > 0 {
+		fmt.Fprintf(w, "  shed ms    p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			r.ShedLatencyP50Ms, r.ShedLatencyP90Ms, r.ShedLatencyP99Ms, r.ShedLatencyMaxMs)
+	}
 }
 
 // assignment mirrors the server's wire format.
@@ -82,6 +111,7 @@ type assignment struct {
 type scheduleBody struct {
 	Index       int          `json:"index"`
 	Error       string       `json:"error"`
+	Cache       string       `json:"cache"`
 	Makespan    int64        `json:"makespan"`
 	Assignments []assignment `json:"assignments"`
 }
@@ -89,6 +119,9 @@ type scheduleBody struct {
 // checkSchedule rebuilds the placement the server returned and
 // re-times it under the execution model: the response is only counted
 // OK if the schedule validates and the server's makespan matches.
+// Responses the server marked as cache hits go through exactly the
+// same fresh local rebuild, so a stale or mis-remapped cache entry
+// shows up as a validation failure, not silent corruption.
 func checkSchedule(g *dag.Graph, body scheduleBody) error {
 	if len(body.Assignments) != g.NumNodes() {
 		return fmt.Errorf("%d assignments for %d nodes", len(body.Assignments), g.NumNodes())
@@ -122,15 +155,21 @@ func checkSchedule(g *dag.Graph, body scheduleBody) error {
 
 // tally is the shared, mutex-guarded run accumulator.
 type tally struct {
-	mu        sync.Mutex
-	report    Report
-	latencies []float64 // milliseconds, one per HTTP request
+	mu     sync.Mutex
+	report Report
+	served []float64 // milliseconds, one per 200 response
+	shed   []float64 // milliseconds, one per 429 response
 }
 
-func (a *tally) addLatency(d time.Duration) {
+func (a *tally) addServed(d time.Duration) {
 	a.mu.Lock()
-	a.latencies = append(a.latencies, float64(d)/float64(time.Millisecond))
-	a.report.Requests++
+	a.served = append(a.served, float64(d)/float64(time.Millisecond))
+	a.mu.Unlock()
+}
+
+func (a *tally) addShed(d time.Duration) {
+	a.mu.Lock()
+	a.shed = append(a.shed, float64(d)/float64(time.Millisecond))
 	a.mu.Unlock()
 }
 
@@ -138,6 +177,154 @@ func (a *tally) count(f func(r *Report)) {
 	a.mu.Lock()
 	f(&a.report)
 	a.mu.Unlock()
+}
+
+// countCache folds one response's cache marker ("hit", "miss", or ""
+// from a server without a cache) into the report.
+func countCache(r *Report, status string) {
+	switch status {
+	case "hit":
+		r.CacheHits++
+	case "miss":
+		r.CacheMisses++
+	}
+}
+
+// wireGraph mirrors the dag JSON wire format so the generator can
+// relabel and perturb graphs without reaching into dag internals.
+type wireGraph struct {
+	Name  string     `json:"name,omitempty"`
+	Nodes []int64    `json:"nodes"`
+	Edges []wireEdge `json:"edges"`
+}
+
+type wireEdge struct {
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	Weight int64 `json:"weight"`
+}
+
+// reqGraph is one sendable request body plus the graph to validate the
+// response against.
+type reqGraph struct {
+	g    *dag.Graph
+	body []byte
+}
+
+// maxFreshWeight bounds the perturbed weight of fresh graphs. Together
+// with the node choice it keeps the first ~million fresh graphs drawn
+// from one base pairwise content-distinct.
+const maxFreshWeight = 1 << 20
+
+// trafficSource draws request bodies. A coin biased by dup picks
+// between the duplicate pool — identical, renamed, and relabeled
+// isomorphic variants that all share one canonical hash per base graph
+// — and a fresh content-unique perturbation that no cache can have
+// seen before.
+type trafficSource struct {
+	dup      float64
+	variants [][]reqGraph // per base graph
+	wires    []wireGraph  // base wire forms, cloned for fresh graphs
+	fresh    atomic.Int64
+}
+
+func compileWire(w wireGraph) (reqGraph, error) {
+	body, err := json.Marshal(w)
+	if err != nil {
+		return reqGraph{}, err
+	}
+	g, err := dag.ReadJSON(bytes.NewReader(body))
+	if err != nil {
+		return reqGraph{}, fmt.Errorf("generated graph rejected: %w", err)
+	}
+	return reqGraph{g: g, body: body}, nil
+}
+
+// permuteWire relabels the nodes under a random permutation and
+// shuffles edge order: an isomorphic graph with different bytes.
+func permuteWire(w wireGraph, rng *rand.Rand) wireGraph {
+	n := len(w.Nodes)
+	order := rng.Perm(n) // order[new] = old
+	inv := make([]int, n)
+	for newID, old := range order {
+		inv[old] = newID
+	}
+	out := wireGraph{
+		Name:  w.Name + "-perm",
+		Nodes: make([]int64, n),
+		Edges: make([]wireEdge, len(w.Edges)),
+	}
+	for newID, old := range order {
+		out.Nodes[newID] = w.Nodes[old]
+	}
+	for i, e := range w.Edges {
+		out.Edges[i] = wireEdge{From: inv[e.From], To: inv[e.To], Weight: e.Weight}
+	}
+	rng.Shuffle(len(out.Edges), func(i, j int) { out.Edges[i], out.Edges[j] = out.Edges[j], out.Edges[i] })
+	return out
+}
+
+func newTrafficSource(dup float64, graphs []*dag.Graph, rng *rand.Rand) (*trafficSource, error) {
+	if dup < 0 {
+		dup = 0
+	}
+	if dup > 1 {
+		dup = 1
+	}
+	s := &trafficSource{dup: dup}
+	for _, g := range graphs {
+		data, err := json.Marshal(g)
+		if err != nil {
+			return nil, err
+		}
+		var w wireGraph
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, err
+		}
+		s.wires = append(s.wires, w)
+
+		identical := reqGraph{g: g, body: data}
+		renamed := w
+		renamed.Name = w.Name + "-renamed"
+		rv, err := compileWire(renamed)
+		if err != nil {
+			return nil, err
+		}
+		vs := []reqGraph{identical, rv}
+		for k := 0; k < 2; k++ {
+			pv, err := compileWire(permuteWire(w, rng))
+			if err != nil {
+				return nil, err
+			}
+			vs = append(vs, pv)
+		}
+		s.variants = append(s.variants, vs)
+	}
+	return s, nil
+}
+
+// pick returns the next request. Duplicates come straight from the
+// precompiled pool; fresh graphs perturb one node weight with a
+// globally unique counter so their content never repeats.
+func (s *trafficSource) pick(rng *rand.Rand) (*dag.Graph, []byte, error) {
+	i := rng.Intn(len(s.variants))
+	if s.dup > 0 && rng.Float64() < s.dup {
+		vs := s.variants[i]
+		v := vs[rng.Intn(len(vs))]
+		return v.g, v.body, nil
+	}
+	c := s.fresh.Add(1)
+	w := s.wires[i]
+	nodes := append([]int64(nil), w.Nodes...)
+	v := int(c) % len(nodes)
+	nodes[v] = 1 + (nodes[v]+c)%maxFreshWeight
+	w.Nodes = nodes
+	w.Name = fmt.Sprintf("%s-fresh%d", w.Name, c)
+	rg, err := compileWire(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rg.g, rg.body, nil
 }
 
 // runLoad generates the graph population, runs the clients, and
@@ -156,16 +343,12 @@ func runLoad(cfg loadConfig) (*Report, error) {
 		return nil, err
 	}
 	var graphs []*dag.Graph
-	var bodies [][]byte
 	for _, set := range c.Sets {
-		for _, g := range set.Graphs {
-			data, err := json.Marshal(g)
-			if err != nil {
-				return nil, err
-			}
-			graphs = append(graphs, g)
-			bodies = append(bodies, data)
-		}
+		graphs = append(graphs, set.Graphs...)
+	}
+	src, err := newTrafficSource(cfg.Dup, graphs, rand.New(rand.NewSource(cfg.Seed^0x5eedca4e)))
+	if err != nil {
+		return nil, err
 	}
 
 	// Rate limiting: a shared token stream at the target rate. The
@@ -214,9 +397,9 @@ func runLoad(cfg loadConfig) (*Report, error) {
 					}
 				}
 				if cfg.Batch > 1 {
-					doBatch(client, cfg, rng, graphs, bodies, acc)
+					doBatch(client, cfg, rng, src, acc)
 				} else {
-					doSingle(client, cfg, rng, graphs, bodies, acc)
+					doSingle(client, cfg, rng, src, acc)
 				}
 			}
 		}(w)
@@ -229,48 +412,67 @@ func runLoad(cfg loadConfig) (*Report, error) {
 	rep.Heuristic = cfg.Heuristic
 	rep.Batch = cfg.Batch
 	rep.Clients = cfg.Conc
+	rep.DupRatio = src.dup
 	rep.DurationSeconds = elapsed.Seconds()
 	if rep.Items > 0 {
 		rep.ItemsPerSecond = float64(rep.Items) / elapsed.Seconds()
 	}
-	if n := rep.OK + rep.Shed; n > 0 {
-		rep.ShedRate = float64(rep.Shed) / float64(n+rep.Timeouts)
+	if denom := rep.OK + rep.Shed + rep.Timeouts; denom > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(denom)
 	}
-	if len(acc.latencies) > 0 {
-		rep.LatencyP50Ms = stats.Quantile(acc.latencies, 0.50)
-		rep.LatencyP90Ms = stats.Quantile(acc.latencies, 0.90)
-		rep.LatencyP99Ms = stats.Quantile(acc.latencies, 0.99)
-		_, max := stats.MinMax(acc.latencies)
+	if n := rep.CacheHits + rep.CacheMisses; n > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(n)
+	}
+	if len(acc.served) > 0 {
+		rep.LatencyP50Ms = stats.Quantile(acc.served, 0.50)
+		rep.LatencyP90Ms = stats.Quantile(acc.served, 0.90)
+		rep.LatencyP99Ms = stats.Quantile(acc.served, 0.99)
+		_, max := stats.MinMax(acc.served)
 		rep.LatencyMaxMs = max
+	}
+	if len(acc.shed) > 0 {
+		rep.ShedLatencyP50Ms = stats.Quantile(acc.shed, 0.50)
+		rep.ShedLatencyP90Ms = stats.Quantile(acc.shed, 0.90)
+		rep.ShedLatencyP99Ms = stats.Quantile(acc.shed, 0.99)
+		_, max := stats.MinMax(acc.shed)
+		rep.ShedLatencyMaxMs = max
 	}
 	return &rep, nil
 }
 
-func doSingle(client *http.Client, cfg loadConfig, rng *rand.Rand, graphs []*dag.Graph, bodies [][]byte, acc *tally) {
-	i := rng.Intn(len(graphs))
+func doSingle(client *http.Client, cfg loadConfig, rng *rand.Rand, src *trafficSource, acc *tally) {
+	g, body, err := src.pick(rng)
+	if err != nil {
+		log.Printf("schedload: generate request: %v", err)
+		acc.count(func(r *Report) { r.Requests++; r.Items++; r.TransportErrors++ })
+		return
+	}
 	t0 := time.Now()
-	resp, err := client.Post(cfg.Addr+"/schedule?heuristic="+cfg.Heuristic, "application/json", bytes.NewReader(bodies[i]))
+	resp, err := client.Post(cfg.Addr+"/schedule?heuristic="+cfg.Heuristic, "application/json", bytes.NewReader(body))
+	lat := time.Since(t0)
 	if err != nil {
 		acc.count(func(r *Report) { r.Requests++; r.Items++; r.TransportErrors++ })
 		return
 	}
 	defer resp.Body.Close()
-	acc.addLatency(time.Since(t0))
-	acc.count(func(r *Report) { r.Items++ })
+	acc.count(func(r *Report) { r.Requests++; r.Items++ })
 	switch resp.StatusCode {
 	case http.StatusOK:
-		var body scheduleBody
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			acc.count(func(r *Report) { r.ValidationFailures++ })
+		acc.addServed(lat)
+		cacheStatus := resp.Header.Get("X-Sched-Cache")
+		var sb scheduleBody
+		if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+			acc.count(func(r *Report) { r.ValidationFailures++; countCache(r, cacheStatus) })
 			return
 		}
-		if err := checkSchedule(graphs[i], body); err != nil {
-			acc.count(func(r *Report) { r.ValidationFailures++ })
+		if err := checkSchedule(g, sb); err != nil {
+			acc.count(func(r *Report) { r.ValidationFailures++; countCache(r, cacheStatus) })
 			return
 		}
-		acc.count(func(r *Report) { r.OK++ })
+		acc.count(func(r *Report) { r.OK++; countCache(r, cacheStatus) })
 	case http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
+		acc.addShed(lat)
 		acc.count(func(r *Report) { r.Shed++ })
 	case http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
@@ -281,30 +483,37 @@ func doSingle(client *http.Client, cfg loadConfig, rng *rand.Rand, graphs []*dag
 	}
 }
 
-func doBatch(client *http.Client, cfg loadConfig, rng *rand.Rand, graphs []*dag.Graph, bodies [][]byte, acc *tally) {
-	idx := make([]int, cfg.Batch)
+func doBatch(client *http.Client, cfg loadConfig, rng *rand.Rand, src *trafficSource, acc *tally) {
+	picked := make([]*dag.Graph, cfg.Batch)
 	var buf bytes.Buffer
 	buf.WriteByte('[')
-	for j := range idx {
-		idx[j] = rng.Intn(len(graphs))
+	for j := range picked {
+		g, body, err := src.pick(rng)
+		if err != nil {
+			log.Printf("schedload: generate request: %v", err)
+			acc.count(func(r *Report) { r.Requests++; r.Items += cfg.Batch; r.TransportErrors++ })
+			return
+		}
+		picked[j] = g
 		if j > 0 {
 			buf.WriteByte(',')
 		}
-		buf.Write(bodies[idx[j]])
+		buf.Write(body)
 	}
 	buf.WriteByte(']')
 
 	t0 := time.Now()
 	resp, err := client.Post(cfg.Addr+"/schedule/batch?heuristic="+cfg.Heuristic, "application/json", &buf)
+	lat := time.Since(t0)
 	if err != nil {
-		acc.count(func(r *Report) { r.Requests++; r.Items += len(idx); r.TransportErrors++ })
+		acc.count(func(r *Report) { r.Requests++; r.Items += len(picked); r.TransportErrors++ })
 		return
 	}
 	defer resp.Body.Close()
+	acc.count(func(r *Report) { r.Requests++ })
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		acc.addLatency(time.Since(t0))
-		acc.count(func(r *Report) { r.Items += len(idx); r.TransportErrors++ })
+		acc.count(func(r *Report) { r.Items += len(picked); r.TransportErrors++ })
 		return
 	}
 	sc := bufio.NewScanner(resp.Body)
@@ -323,23 +532,25 @@ func doBatch(client *http.Client, cfg loadConfig, rng *rand.Rand, graphs []*dag.
 		seen++
 		switch {
 		case body.Error == "":
-			if body.Index < 0 || body.Index >= len(idx) {
+			if body.Index < 0 || body.Index >= len(picked) {
 				acc.count(func(r *Report) { r.Items++; r.ValidationFailures++ })
 				continue
 			}
-			if err := checkSchedule(graphs[idx[body.Index]], body); err != nil {
-				acc.count(func(r *Report) { r.Items++; r.ValidationFailures++ })
+			if err := checkSchedule(picked[body.Index], body); err != nil {
+				acc.count(func(r *Report) { r.Items++; r.ValidationFailures++; countCache(r, body.Cache) })
 				continue
 			}
-			acc.count(func(r *Report) { r.Items++; r.OK++ })
+			acc.count(func(r *Report) { r.Items++; r.OK++; countCache(r, body.Cache) })
 		case strings.Contains(body.Error, "deadline exceeded") || strings.Contains(body.Error, "canceled"):
 			acc.count(func(r *Report) { r.Items++; r.Timeouts++ })
 		default:
 			acc.count(func(r *Report) { r.Items++; r.TransportErrors++ })
 		}
 	}
-	acc.addLatency(time.Since(t0))
-	if err := sc.Err(); err != nil || seen != len(idx) {
+	// The whole-request latency belongs to the served bucket: the
+	// request was admitted and streamed results.
+	acc.addServed(lat)
+	if err := sc.Err(); err != nil || seen != len(picked) {
 		acc.count(func(r *Report) { r.TransportErrors++ })
 	}
 }

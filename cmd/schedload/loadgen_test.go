@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,19 +14,47 @@ import (
 	"schedcomp/internal/heuristics/mcp"
 )
 
+// stubOptions tunes the stub server: shed cadence, an injected
+// service delay on served responses, and canonical-hash cache
+// emulation (marking repeated content hit, first sighting miss).
+type stubOptions struct {
+	shedEvery  int64
+	serveDelay time.Duration
+	cacheAware bool
+}
+
 // stubServe is a minimal schedserve stand-in: it really schedules with
 // MCP so the client's validation path sees authentic responses, and
 // optionally sheds every Nth /schedule request.
 func stubServe(t *testing.T, shedEvery int64) *httptest.Server {
+	return stubServeOpts(t, stubOptions{shedEvery: shedEvery})
+}
+
+func stubServeOpts(t *testing.T, opts stubOptions) *httptest.Server {
 	t.Helper()
 	var n atomic.Int64
-	writeItem := func(w http.ResponseWriter, g *dag.Graph, index int) {
+	var mu sync.Mutex
+	seen := make(map[dag.Fingerprint]bool)
+	cacheStatus := func(g *dag.Graph) string {
+		if !opts.cacheAware {
+			return ""
+		}
+		fp := g.CanonicalHash()
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[fp] {
+			return "hit"
+		}
+		seen[fp] = true
+		return "miss"
+	}
+	writeItem := func(w http.ResponseWriter, g *dag.Graph, index int, cache string) {
 		sc, err := heuristics.Run(mcp.New(), g)
 		if err != nil {
 			t.Errorf("stub schedule: %v", err)
 			return
 		}
-		body := scheduleBody{Index: index, Makespan: sc.Makespan}
+		body := scheduleBody{Index: index, Makespan: sc.Makespan, Cache: cache}
 		for _, a := range sc.ByNode {
 			body.Assignments = append(body.Assignments, assignment{
 				Node: int(a.Node), Proc: a.Proc, Start: a.Start, Finish: a.Finish,
@@ -35,7 +64,7 @@ func stubServe(t *testing.T, shedEvery int64) *httptest.Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
-		if shedEvery > 0 && n.Add(1)%shedEvery == 0 {
+		if opts.shedEvery > 0 && n.Add(1)%opts.shedEvery == 0 {
 			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusTooManyRequests)
 			return
@@ -45,7 +74,14 @@ func stubServe(t *testing.T, shedEvery int64) *httptest.Server {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeItem(w, g, 0)
+		if opts.serveDelay > 0 {
+			time.Sleep(opts.serveDelay)
+		}
+		cache := cacheStatus(g)
+		if cache != "" {
+			w.Header().Set("X-Sched-Cache", cache)
+		}
+		writeItem(w, g, 0, cache)
 	})
 	mux.HandleFunc("/schedule/batch", func(w http.ResponseWriter, r *http.Request) {
 		var graphs []*dag.Graph
@@ -53,9 +89,12 @@ func stubServe(t *testing.T, shedEvery int64) *httptest.Server {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if opts.serveDelay > 0 {
+			time.Sleep(opts.serveDelay)
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		for i, g := range graphs {
-			writeItem(w, g, i)
+			writeItem(w, g, i, cacheStatus(g))
 		}
 	})
 	ts := httptest.NewServer(mux)
@@ -120,6 +159,108 @@ func TestRunLoadBatch(t *testing.T) {
 	}
 	if rep.Items != rep.Requests*cfg.Batch {
 		t.Fatalf("items = %d, want requests (%d) x batch (%d)", rep.Items, rep.Requests, cfg.Batch)
+	}
+}
+
+// TestServedShedLatencySplit guards the quantile fix: shed responses
+// used to be folded into the same latency population as served ones,
+// dragging p50/p99 down under overload. With a 20ms injected service
+// delay and instant sheds, the served median must carry the delay
+// while the shed median stays well below it.
+func TestServedShedLatencySplit(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	ts := stubServeOpts(t, stubOptions{shedEvery: 2, serveDelay: delay})
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Conc = 2
+	cfg.Dur = 500 * time.Millisecond
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.Shed == 0 {
+		t.Fatalf("need both served and shed traffic: %+v", rep)
+	}
+	if rep.LatencyP50Ms < float64(delay/time.Millisecond)/2 {
+		t.Fatalf("served p50 = %.2fms, want >= %.0fms (injected delay leaked out)",
+			rep.LatencyP50Ms, float64(delay/time.Millisecond)/2)
+	}
+	if rep.ShedLatencyP50Ms >= rep.LatencyP50Ms {
+		t.Fatalf("shed p50 (%.2fms) >= served p50 (%.2fms): split is not separating populations",
+			rep.ShedLatencyP50Ms, rep.LatencyP50Ms)
+	}
+	wantRate := float64(rep.Shed) / float64(rep.OK+rep.Shed+rep.Timeouts)
+	if rep.ShedRate != wantRate {
+		t.Fatalf("shed rate = %v, want %v", rep.ShedRate, wantRate)
+	}
+}
+
+// TestDupTrafficHitsCache drives pure duplicate traffic (identical,
+// renamed, and relabeled isomorphic copies) at a canonical-hash-aware
+// stub: everything past the first sighting of each base graph must
+// come back a hit, and hits validate like any other response.
+func TestDupTrafficHitsCache(t *testing.T) {
+	ts := stubServeOpts(t, stubOptions{cacheAware: true})
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Dup = 1.0
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ValidationFailures != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("duplicate traffic failed validation: %+v", rep)
+	}
+	if rep.CacheMisses == 0 || rep.CacheHits == 0 {
+		t.Fatalf("want both misses (first sightings) and hits: %+v", rep)
+	}
+	if rep.CacheHits+rep.CacheMisses != rep.OK {
+		t.Fatalf("cache accounting %d+%d != ok %d", rep.CacheHits, rep.CacheMisses, rep.OK)
+	}
+	if rep.CacheHitRate <= 0 || rep.CacheHitRate >= 1 {
+		t.Fatalf("hit rate = %v, want within (0,1)", rep.CacheHitRate)
+	}
+}
+
+// TestFreshTrafficNeverHits is the uniqueness guarantee for -dup 0:
+// every generated graph is content-distinct, so a canonical-hash cache
+// never sees a repeat.
+func TestFreshTrafficNeverHits(t *testing.T) {
+	ts := stubServeOpts(t, stubOptions{cacheAware: true})
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Dup = 0
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.ValidationFailures != 0 {
+		t.Fatalf("fresh traffic run: %+v", rep)
+	}
+	if rep.CacheHits != 0 {
+		t.Fatalf("%d cache hits on supposedly content-unique traffic", rep.CacheHits)
+	}
+	if rep.CacheMisses != rep.OK {
+		t.Fatalf("misses %d != ok %d", rep.CacheMisses, rep.OK)
+	}
+}
+
+// TestBatchDupCacheCounts exercises the per-line cache field on the
+// batch path.
+func TestBatchDupCacheCounts(t *testing.T) {
+	ts := stubServeOpts(t, stubOptions{cacheAware: true})
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Dup = 1.0
+	cfg.Batch = 4
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.ValidationFailures != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("batch dup run: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("no cache hits across %d duplicate batch items", rep.Items)
+	}
+	if rep.CacheHits+rep.CacheMisses != rep.OK {
+		t.Fatalf("cache accounting %d+%d != ok %d", rep.CacheHits, rep.CacheMisses, rep.OK)
 	}
 }
 

@@ -2,10 +2,17 @@
 // drives /schedule (or /schedule/batch with -batch) from -conc
 // concurrent clients at an optional target rate, validates every
 // returned schedule by re-timing it under the execution model, and
-// reports latency quantiles and the shed rate.
+// reports latency quantiles (served and shed separately) and the shed
+// rate.
 //
 // The graphs come from the paper's corpus generator, so the offered
-// load has the same shape mix the benchmarks use.
+// load has the same shape mix the benchmarks use. -dup sets the
+// fraction of requests repeating earlier content — identical, renamed,
+// and relabeled isomorphic copies of a fixed pool — to exercise the
+// server's content-addressed schedule cache; the rest are
+// content-unique weight perturbations. Responses the server marks as
+// cache hits are re-validated against a fresh local rebuild exactly
+// like uncached ones, and the report carries hit/miss counts.
 //
 // Exit status is 1 if any response failed validation or any transport
 // error occurred; load shedding (429) and request timeouts (503) are
@@ -35,6 +42,7 @@ func run(args []string, out *os.File) int {
 		seed      = fs.Int64("seed", 1, "corpus seed")
 		minNodes  = fs.Int("min-nodes", 24, "minimum graph size")
 		maxNodes  = fs.Int("max-nodes", 48, "maximum graph size")
+		dup       = fs.Float64("dup", 0, "fraction of requests repeating pool content (identical/renamed/relabeled copies); the rest are content-unique")
 		report    = fs.String("report", "", "write the JSON report to this file as well as stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +53,7 @@ func run(args []string, out *os.File) int {
 		Addr: *addr, RPS: *rps, Conc: *conc, Dur: *dur,
 		Heuristic: *heuristic, Batch: *batch,
 		Seed: *seed, MinNodes: *minNodes, MaxNodes: *maxNodes,
+		Dup: *dup,
 	}
 	rep, err := runLoad(cfg)
 	if err != nil {

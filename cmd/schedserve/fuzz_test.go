@@ -27,6 +27,9 @@ func fuzzHandler() http.Handler {
 		obs.Default().SetEnabled(true)
 		fuzzSrv.s = newServer(obs.Default(), serverOptions{
 			Timeout: 2 * time.Second, MaxBody: 1 << 20, Workers: 2, QueueDepth: 8,
+			// Small cache so fuzzing also drives the canonical-hash and
+			// hit/miss/evict paths, not just the decoder.
+			CacheEntries: 64,
 		})
 	})
 	return fuzzSrv.s.Handler()
@@ -69,6 +72,10 @@ func FuzzScheduleHandler(f *testing.F) {
 	f.Add([]byte(""), "RAND")
 	f.Add([]byte("null"), "")
 	f.Add([]byte(`[{"nodes":[1],"edges":[]}]`), "NOPE")
+	f.Add([]byte(`{"nodes":[1],"edges":[]}{"nodes":[2],"edges":[]}`), "MCP")
+	f.Add([]byte(`{"nodes":[1],"edges":[]}trailing`), "ETF")
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":-1,"to":1,"weight":1}]}`), "MCP")
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":0,"to":1,"weight":-1}]}`), "HU")
 
 	f.Fuzz(func(t *testing.T, body []byte, heuristic string) {
 		h := fuzzHandler()

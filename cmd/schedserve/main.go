@@ -21,6 +21,13 @@
 // request is bounded by -timeout — expiry frees the worker at the next
 // cancellation poll inside the heuristic. SIGINT/SIGTERM drain
 // in-flight requests for up to -drain before exiting.
+//
+// A content-addressed schedule cache (sized by -cache-entries and
+// -cache-bytes; -cache-entries 0 disables it) answers repeated graphs
+// — including renamed and relabeled isomorphic copies — without
+// scheduling: hits bypass admission entirely and are marked with an
+// X-Sched-Cache: hit response header (batch lines carry a "cache"
+// field instead).
 package main
 
 import (
@@ -60,6 +67,9 @@ func run() int {
 		maxBody = flag.Int64("maxbody", defaultMaxBody, "maximum DAG request body in bytes")
 		workers = flag.Int("workers", 0, "scheduling worker goroutines (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+
+		cacheEntries = flag.Int("cache-entries", 4096, "schedule cache capacity in entries (0 disables the cache)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "schedule cache budget in approximate bytes")
 	)
 	flag.Parse()
 
@@ -68,6 +78,7 @@ func run() int {
 	srv := newServer(obs.Default(), serverOptions{
 		Timeout: *timeout, MaxBody: *maxBody,
 		Workers: *workers, QueueDepth: *queue,
+		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
 	})
 	defer srv.Close()
 	hs := &http.Server{

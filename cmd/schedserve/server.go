@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/obs"
+	"schedcomp/internal/schedcache"
 	"schedcomp/internal/serve"
 )
 
@@ -29,6 +31,11 @@ type serverOptions struct {
 	// pick the pipeline defaults (GOMAXPROCS workers, 4× queue).
 	Workers    int
 	QueueDepth int
+	// CacheEntries and CacheBytes size the content-addressed schedule
+	// cache. CacheEntries 0 disables caching entirely; CacheBytes 0
+	// with caching enabled picks the schedcache default budget.
+	CacheEntries int
+	CacheBytes   int64
 }
 
 // server wires the scheduling endpoints to the pipeline and the obs
@@ -46,11 +53,22 @@ func newServer(reg *obs.Registry, opts serverOptions) *server {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = defaultMaxBody
 	}
+	var cache *schedcache.Cache
+	if opts.CacheEntries > 0 {
+		cache = schedcache.New(schedcache.Config{
+			MaxEntries: opts.CacheEntries,
+			MaxBytes:   opts.CacheBytes,
+		})
+	}
 	s := &server{
 		reg:  reg,
 		opts: opts,
-		pipe: serve.New(serve.Config{Workers: opts.Workers, QueueDepth: opts.QueueDepth}, reg),
-		mux:  http.NewServeMux(),
+		pipe: serve.New(serve.Config{
+			Workers:    opts.Workers,
+			QueueDepth: opts.QueueDepth,
+			Cache:      cache,
+		}, reg),
+		mux: http.NewServeMux(),
 	}
 
 	s.mux.Handle("/schedule", s.instrument("/schedule", http.HandlerFunc(s.handleSchedule)))
@@ -195,11 +213,14 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	run := tr.Span("schedule")
-	schedule, err := s.pipe.Schedule(ctx, sc, g)
+	schedule, cacheStatus, err := s.pipe.ScheduleCached(ctx, sc, g) //lint:boundedlabel cache labels use Scheduler.Name(), a finite registry set
 	run.End()
 	if err != nil {
 		s.scheduleError(w, err)
 		return
+	}
+	if cacheStatus != serve.CacheNone {
+		w.Header().Set("X-Sched-Cache", string(cacheStatus))
 	}
 
 	enc := tr.Span("encode")
@@ -247,6 +268,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 type batchItemJSON struct {
 	Index       int              `json:"index"`
 	Error       string           `json:"error,omitempty"`
+	Cache       string           `json:"cache,omitempty"`
 	Heuristic   string           `json:"heuristic,omitempty"`
 	Graph       string           `json:"graph,omitempty"`
 	Nodes       int              `json:"nodes,omitempty"`
@@ -278,8 +300,13 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var graphs []*dag.Graph
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody)).Decode(&graphs); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err := dec.Decode(&graphs); err != nil {
 		httpError(w, http.StatusBadRequest, "bad batch: "+err.Error())
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad batch: trailing data after the array")
 		return
 	}
 	if len(graphs) == 0 {
@@ -305,7 +332,7 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		func() heuristics.Scheduler { sc, _ := heuristics.New(name); return sc },
 		graphs,
 		func(res serve.Result) error {
-			line := batchItemJSON{Index: res.Index}
+			line := batchItemJSON{Index: res.Index, Cache: string(res.Cache)}
 			if res.Err != nil {
 				line.Error = res.Err.Error()
 			} else {

@@ -31,6 +31,7 @@ var (
 	ccCP       = newCacheCounters("cp")
 	ccDesc     = newCacheCounters("desc")
 	ccAnc      = newCacheCounters("anc")
+	ccCanon    = newCacheCounters("canon")
 )
 
 // count records one lookup outcome.
@@ -85,6 +86,8 @@ type analysisCache struct {
 
 	desc []*bitset.Set
 	anc  []*bitset.Set
+
+	canon *canonInfo // canonical form (hash.go); nil until asked for
 }
 
 // invalidate discards all memoized analyses and bumps the revision

@@ -120,6 +120,17 @@ func (g *Graph) AddEdge(from, to NodeID, weight int64) error {
 	return nil
 }
 
+// addEdgeUnchecked inserts an edge whose endpoints, weight and
+// uniqueness the caller has already verified. The wire decoder and the
+// canonical clone use it to skip AddEdge's linear duplicate scan, which
+// is quadratic in the out-degree for hub-shaped graphs.
+func (g *Graph) addEdgeUnchecked(from, to NodeID, weight int64) {
+	g.succ[from] = append(g.succ[from], Arc{To: to, Weight: weight})
+	g.pred[to] = append(g.pred[to], Arc{To: from, Weight: weight})
+	g.edges++
+	g.invalidate()
+}
+
 // MustAddEdge is AddEdge that panics on error; for hand-built graphs in
 // tests and examples.
 func (g *Graph) MustAddEdge(from, to NodeID, weight int64) {

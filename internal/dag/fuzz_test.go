@@ -30,6 +30,17 @@ func FuzzGraphJSONRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":1,"to":0,"weight":1},{"from":0,"to":1,"weight":1}]}`))
 	f.Add([]byte(`{"nodes":[-1]}`))
 	f.Add([]byte(`not json at all`))
+	// Wire-validation rejection paths: self loop, duplicate edge,
+	// out-of-range endpoint, negative edge weight, oversized name, and
+	// trailing data after a valid object.
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":0,"to":0,"weight":1}]}`))
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":0,"to":1,"weight":1},{"from":0,"to":1,"weight":2}]}`))
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":0,"to":5,"weight":1}]}`))
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":-1,"to":1,"weight":1}]}`))
+	f.Add([]byte(`{"nodes":[1,2],"edges":[{"from":0,"to":1,"weight":-1}]}`))
+	f.Add(append(append([]byte(`{"name":"`), bytes.Repeat([]byte("A"), dag.MaxWireName+1)...), []byte(`","nodes":[1]}`)...))
+	f.Add([]byte(`{"nodes":[1],"edges":[]}{"nodes":[2],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[1],"edges":[]}garbage`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := dag.ReadJSON(bytes.NewReader(data))

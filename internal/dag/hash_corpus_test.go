@@ -1,0 +1,50 @@
+package dag_test
+
+import (
+	"bytes"
+	"testing"
+
+	"schedcomp/internal/corpus"
+	"schedcomp/internal/dag"
+)
+
+// TestCanonicalHashCorpusCollisions hashes every graph of the
+// schedbench corpus and requires all distinct graphs to get distinct
+// fingerprints. Short mode uses the reduced corpus; the full run uses
+// the paper's 2100-graph population. A fingerprint clash is only a bug
+// if the canonical encodings differ too (equal encodings mean the
+// graphs genuinely are isomorphic, which random generation never
+// produces in practice — so both cases are reported fatally).
+func TestCanonicalHashCorpusCollisions(t *testing.T) {
+	spec := corpus.PaperSpec(42)
+	if testing.Short() {
+		spec = corpus.SmallSpec(42)
+	}
+	c, err := corpus.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[dag.Fingerprint]*dag.Graph, c.NumGraphs())
+	graphs := 0
+	for _, set := range c.Sets {
+		for _, g := range set.Graphs {
+			graphs++
+			fp := g.CanonicalHash()
+			prev, dup := seen[fp]
+			if !dup {
+				seen[fp] = g
+				continue
+			}
+			if bytes.Equal(prev.CanonicalEncoding(), g.CanonicalEncoding()) {
+				t.Fatalf("corpus graphs %q and %q are isomorphic (identical canonical encodings)",
+					prev.Name(), g.Name())
+			}
+			t.Fatalf("fingerprint collision between distinct graphs %q and %q: %s",
+				prev.Name(), g.Name(), fp)
+		}
+	}
+	if len(seen) != graphs {
+		t.Fatalf("%d graphs produced %d fingerprints", graphs, len(seen))
+	}
+	t.Logf("%d corpus graphs, %d distinct fingerprints", graphs, len(seen))
+}

@@ -1,0 +1,246 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"schedcomp/internal/obs"
+)
+
+// permuted returns g with node IDs relabeled by a random permutation
+// and edges inserted in shuffled order — the same graph up to naming.
+func permuted(rng *rand.Rand, g *Graph) *Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n) // orig node v becomes node perm[v]
+	weights := make([]int64, n)
+	for v := 0; v < n; v++ {
+		weights[perm[v]] = g.Weight(NodeID(v))
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	h := New("permuted")
+	for _, w := range weights {
+		h.AddNode(w)
+	}
+	for _, e := range edges {
+		h.MustAddEdge(NodeID(perm[e.From]), NodeID(perm[e.To]), e.Weight)
+	}
+	return h
+}
+
+func TestCanonicalHashPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, 0.15+rng.Float64()*0.3)
+		want := g.CanonicalHash()
+		wantEnc := g.CanonicalEncoding()
+		for rep := 0; rep < 4; rep++ {
+			h := permuted(rng, g)
+			if got := h.CanonicalHash(); got != want {
+				t.Fatalf("trial %d rep %d: permuted graph hashed %s, original %s", trial, rep, got, want)
+			}
+			if !bytes.Equal(h.CanonicalEncoding(), wantEnc) {
+				t.Fatalf("trial %d rep %d: permuted graph has different canonical encoding", trial, rep)
+			}
+		}
+	}
+}
+
+func TestCanonicalHashNameBlind(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDAG(rng, 20, 0.2)
+	want := g.CanonicalHash()
+	g.SetName("renamed-to-something-else")
+	if got := g.CanonicalHash(); got != want {
+		t.Fatalf("rename changed hash: %s != %s", got, want)
+	}
+}
+
+func TestCanonicalHashPerturbationSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 3+rng.Intn(30), 0.25)
+		base := g.CanonicalHash()
+
+		// Node weight bump.
+		nw := g.Clone()
+		v := NodeID(rng.Intn(nw.NumNodes()))
+		nw.SetWeight(v, nw.Weight(v)+1)
+		if nw.CanonicalHash() == base {
+			t.Fatalf("trial %d: node weight perturbation kept hash %s", trial, base)
+		}
+
+		edges := g.Edges()
+		if len(edges) > 0 {
+			e := edges[rng.Intn(len(edges))]
+
+			// Edge weight bump.
+			ew := g.Clone()
+			if !ew.SetEdgeWeight(e.From, e.To, e.Weight+1) {
+				t.Fatalf("trial %d: edge %v vanished from clone", trial, e)
+			}
+			if ew.CanonicalHash() == base {
+				t.Fatalf("trial %d: edge weight perturbation kept hash %s", trial, base)
+			}
+
+			// Edge removal.
+			rm := g.Clone()
+			if !rm.RemoveEdge(e.From, e.To) {
+				t.Fatalf("trial %d: edge %v vanished from clone", trial, e)
+			}
+			if rm.CanonicalHash() == base {
+				t.Fatalf("trial %d: edge removal kept hash %s", trial, base)
+			}
+		}
+
+		// Extra node.
+		xn := g.Clone()
+		xn.AddNode(7)
+		if xn.CanonicalHash() == base {
+			t.Fatalf("trial %d: extra node kept hash %s", trial, base)
+		}
+	}
+}
+
+// TestCanonicalHashRegularTwins exercises the individualization
+// cascade: uniform weights and symmetric structure leave WL with
+// ambiguous colour classes that plain refinement cannot split.
+func TestCanonicalHashRegularTwins(t *testing.T) {
+	// Two independent, identical diamonds with all-equal weights: every
+	// node is WL-equivalent to its twin in the other diamond.
+	build := func(order []int) *Graph {
+		g := New("")
+		ids := make([]NodeID, 8)
+		for _, i := range order {
+			ids[i] = g.AddNode(10)
+		}
+		for d := 0; d < 2; d++ {
+			b := 4 * d
+			g.MustAddEdge(ids[b], ids[b+1], 5)
+			g.MustAddEdge(ids[b], ids[b+2], 5)
+			g.MustAddEdge(ids[b+1], ids[b+3], 5)
+			g.MustAddEdge(ids[b+2], ids[b+3], 5)
+		}
+		return g
+	}
+	a := build([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	b := build([]int{4, 6, 5, 7, 0, 2, 1, 3})
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatalf("twin diamonds hash differently: %s vs %s", a.CanonicalHash(), b.CanonicalHash())
+	}
+	if !bytes.Equal(a.CanonicalEncoding(), b.CanonicalEncoding()) {
+		t.Fatal("twin diamonds have different canonical encodings")
+	}
+	// An antichain (no edges, equal weights) is maximally symmetric.
+	c := New("")
+	d := New("")
+	for i := 0; i < 6; i++ {
+		c.AddNode(3)
+		d.AddNode(3)
+	}
+	if c.CanonicalHash() != d.CanonicalHash() {
+		t.Fatal("equal antichains hash differently")
+	}
+}
+
+func TestCanonicalCloneProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(30), 0.25)
+		clone := g.CanonicalClone()
+		if err := clone.Validate(); err != nil {
+			t.Fatalf("trial %d: canonical clone invalid: %v", trial, err)
+		}
+		if clone.Name() != "" {
+			t.Fatalf("trial %d: canonical clone kept name %q", trial, clone.Name())
+		}
+		if clone.CanonicalHash() != g.CanonicalHash() {
+			t.Fatalf("trial %d: clone hash differs from original", trial)
+		}
+		// The clone is a fixed point: it is already canonically labeled.
+		perm := clone.CanonicalPerm()
+		for v, cv := range perm {
+			if NodeID(v) != cv {
+				t.Fatalf("trial %d: clone perm not identity at %d -> %d", trial, v, cv)
+			}
+		}
+		// Isomorphic inputs produce byte-identical clones.
+		h := permuted(rng, g)
+		hc := h.CanonicalClone()
+		if !bytes.Equal(encodeGraphForTest(clone), encodeGraphForTest(hc)) {
+			t.Fatalf("trial %d: clones of isomorphic graphs differ", trial)
+		}
+		// The perm really maps g onto the clone.
+		gp := g.CanonicalPerm()
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Weight(NodeID(v)) != clone.Weight(gp[v]) {
+				t.Fatalf("trial %d: weight mismatch through perm at node %d", trial, v)
+			}
+		}
+		for _, e := range g.Edges() {
+			w, ok := clone.EdgeWeight(gp[e.From], gp[e.To])
+			if !ok || w != e.Weight {
+				t.Fatalf("trial %d: edge %v not mapped through perm", trial, e)
+			}
+		}
+	}
+}
+
+// encodeGraphForTest renders a graph's full content (minus name) for
+// byte comparison in tests.
+func encodeGraphForTest(g *Graph) []byte {
+	name := g.Name()
+	g.SetName("")
+	b, err := g.MarshalJSON()
+	g.SetName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestCanonicalHashMemoized(t *testing.T) {
+	reg := obs.Default()
+	wasEnabled := reg.Enabled()
+	reg.SetEnabled(true)
+	defer reg.SetEnabled(wasEnabled)
+
+	g := New("memo")
+	a := g.AddNode(5)
+	b := g.AddNode(6)
+	g.MustAddEdge(a, b, 2)
+
+	h1 := g.CanonicalHash()
+	h2 := g.CanonicalHash()
+	if h1 != h2 {
+		t.Fatal("hash not stable across calls")
+	}
+	gen := g.Generation()
+	g.SetWeight(b, 7)
+	if g.Generation() == gen {
+		t.Fatal("mutation did not bump generation")
+	}
+	if g.CanonicalHash() == h1 {
+		t.Fatal("hash not invalidated by mutation")
+	}
+}
+
+func TestCanonicalHashEmptyAndTiny(t *testing.T) {
+	e1, e2 := New("a"), New("b")
+	if e1.CanonicalHash() != e2.CanonicalHash() {
+		t.Fatal("empty graphs hash differently")
+	}
+	one := New("")
+	one.AddNode(5)
+	if one.CanonicalHash() == e1.CanonicalHash() {
+		t.Fatal("one-node graph collides with empty graph")
+	}
+	two := New("")
+	two.AddNode(5)
+	if one.CanonicalHash() != two.CanonicalHash() {
+		t.Fatal("identical one-node graphs hash differently")
+	}
+}

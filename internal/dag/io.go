@@ -2,6 +2,7 @@ package dag
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -36,12 +37,31 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 // sum overflow-free for any graph that fits in a request body.
 const MaxWireWeight = 1 << 40
 
+// MaxWireName bounds the graph name accepted from JSON. The name is
+// reporting metadata only; without a cap a request body could be
+// almost entirely name and still parse as a "small" graph.
+const MaxWireName = 1024
+
+// ErrTrailingData is returned by ReadJSON when the input continues
+// past the graph object. Accepting trailing bytes would let two
+// callers disagree about what was submitted (and silently drop data),
+// so the wire format is exactly one JSON value.
+var ErrTrailingData = errors.New("dag: trailing data after graph JSON")
+
 // UnmarshalJSON decodes a graph previously written by MarshalJSON. The
-// decoded graph is validated (acyclic, positive bounded weights).
+// decoded graph is fully validated: bounded name, positive bounded
+// weights, in-range endpoints, no self loops or duplicate edges, and
+// acyclic. Edge checks run in O(E) via a set — the AddEdge path's
+// per-insert duplicate scan is O(out-degree), which an adversarial
+// hub-shaped body turns into O(E²) work before validation can reject
+// it.
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
 		return err
+	}
+	if len(jg.Name) > MaxWireName {
+		return fmt.Errorf("dag: name of %d bytes exceeds limit %d", len(jg.Name), MaxWireName)
 	}
 	ng := New(jg.Name)
 	for i, w := range jg.Nodes {
@@ -53,13 +73,27 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		}
 		ng.AddNode(w)
 	}
+	n := len(jg.Nodes)
+	seen := make(map[[2]int32]struct{}, len(jg.Edges))
 	for _, e := range jg.Edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return fmt.Errorf("%w: %d -> %d in graph of %d nodes", ErrNoSuchNode, e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: %d", ErrSelfLoop, e.From)
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("%w: %d", ErrBadWeight, e.Weight)
+		}
 		if e.Weight > MaxWireWeight {
 			return fmt.Errorf("dag: edge %d->%d weight %d exceeds limit %d", e.From, e.To, e.Weight, int64(MaxWireWeight))
 		}
-		if err := ng.AddEdge(NodeID(e.From), NodeID(e.To), e.Weight); err != nil {
-			return err
+		k := [2]int32{e.From, e.To}
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("%w: %d -> %d", ErrDuplicateEdge, e.From, e.To)
 		}
+		seen[k] = struct{}{}
+		ng.addEdgeUnchecked(NodeID(e.From), NodeID(e.To), e.Weight)
 	}
 	if err := ng.Validate(); err != nil {
 		return err
@@ -81,11 +115,16 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// ReadJSON decodes one graph from r.
+// ReadJSON decodes exactly one graph from r; anything but whitespace
+// after the object is rejected with ErrTrailingData.
 func ReadJSON(r io.Reader) (*Graph, error) {
+	dec := json.NewDecoder(r)
 	g := New("")
-	if err := json.NewDecoder(r).Decode(g); err != nil {
+	if err := dec.Decode(g); err != nil {
 		return nil, err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, ErrTrailingData
 	}
 	return g, nil
 }

@@ -1,0 +1,126 @@
+package dag_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"schedcomp/internal/dag"
+)
+
+func mustReject(t *testing.T, body string, wantErr error) {
+	t.Helper()
+	_, err := dag.ReadJSON(strings.NewReader(body))
+	if err == nil {
+		t.Fatalf("accepted %q", body)
+	}
+	if wantErr != nil && !errors.Is(err, wantErr) {
+		t.Fatalf("rejected %q with %v, want %v", body, err, wantErr)
+	}
+}
+
+func TestWireRejectsMalformedGraphs(t *testing.T) {
+	mustReject(t, `{"nodes":[1,2],"edges":[{"from":0,"to":0,"weight":1}]}`, dag.ErrSelfLoop)
+	mustReject(t, `{"nodes":[1,2],"edges":[{"from":0,"to":1,"weight":1},{"from":0,"to":1,"weight":2}]}`, dag.ErrDuplicateEdge)
+	mustReject(t, `{"nodes":[1,2],"edges":[{"from":0,"to":7,"weight":1}]}`, dag.ErrNoSuchNode)
+	mustReject(t, `{"nodes":[1,2],"edges":[{"from":-3,"to":1,"weight":1}]}`, dag.ErrNoSuchNode)
+	mustReject(t, `{"nodes":[1,2],"edges":[{"from":0,"to":1,"weight":-1}]}`, dag.ErrBadWeight)
+	mustReject(t, `{"nodes":[0],"edges":[]}`, nil)  // non-positive node weight
+	mustReject(t, `{"nodes":[-5],"edges":[]}`, nil) // negative node weight
+	mustReject(t, fmt.Sprintf(`{"nodes":[%d],"edges":[]}`, int64(dag.MaxWireWeight)+1), nil)
+	mustReject(t, fmt.Sprintf(`{"nodes":[1,1],"edges":[{"from":0,"to":1,"weight":%d}]}`, int64(dag.MaxWireWeight)+1), nil)
+	// Cycle through the wire.
+	mustReject(t, `{"nodes":[1,1],"edges":[{"from":0,"to":1,"weight":1},{"from":1,"to":0,"weight":1}]}`, dag.ErrCycle)
+}
+
+func TestWireRejectsOversizedName(t *testing.T) {
+	body := `{"name":"` + strings.Repeat("A", dag.MaxWireName+1) + `","nodes":[1],"edges":[]}`
+	mustReject(t, body, nil)
+	// At the limit is fine.
+	ok := `{"name":"` + strings.Repeat("A", dag.MaxWireName) + `","nodes":[1],"edges":[]}`
+	if _, err := dag.ReadJSON(strings.NewReader(ok)); err != nil {
+		t.Fatalf("rejected name at the limit: %v", err)
+	}
+}
+
+func TestReadJSONRejectsTrailingData(t *testing.T) {
+	mustReject(t, `{"nodes":[1],"edges":[]}{"nodes":[2],"edges":[]}`, dag.ErrTrailingData)
+	mustReject(t, `{"nodes":[1],"edges":[]}garbage`, dag.ErrTrailingData)
+	mustReject(t, `{"nodes":[1],"edges":[]} 0`, dag.ErrTrailingData)
+	// Trailing whitespace (what WriteJSON emits) stays accepted.
+	var buf bytes.Buffer
+	g := dag.New("ws")
+	g.AddNode(3)
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(" \n\t ")
+	if _, err := dag.ReadJSON(&buf); err != nil {
+		t.Fatalf("rejected trailing whitespace: %v", err)
+	}
+}
+
+// TestWireDecodeHubGraphLinear guards the O(E) decode path: a star
+// graph with one hub fanning out to every other node used to cost
+// O(E²) in AddEdge's duplicate scan. 200k edges should decode in well
+// under a second; the quadratic path took minutes.
+func TestWireDecodeHubGraphLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large decode in -short mode")
+	}
+	const n = 200_001
+	var b strings.Builder
+	b.WriteString(`{"nodes":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('1')
+	}
+	b.WriteString(`],"edges":[`)
+	for i := 1; i < n; i++ {
+		if i > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"from":0,"to":%d,"weight":1}`, i)
+	}
+	b.WriteString(`]}`)
+
+	t0 := time.Now()
+	g, err := dag.ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != n-1 {
+		t.Fatalf("decoded %d edges, want %d", g.NumEdges(), n-1)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("hub decode took %v — duplicate scan is quadratic again", elapsed)
+	}
+}
+
+func TestWireRoundTripStillWorks(t *testing.T) {
+	g := dag.New("roundtrip")
+	a := g.AddNode(3)
+	b := g.AddNode(5)
+	c := g.AddNode(7)
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(b, c, 0)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dag.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "roundtrip" || got.NumNodes() != 3 || got.NumEdges() != 2 {
+		t.Fatalf("round trip lost structure: %q %d %d", got.Name(), got.NumNodes(), got.NumEdges())
+	}
+	if w, ok := got.EdgeWeight(b, c); !ok || w != 0 {
+		t.Fatal("zero-weight edge lost")
+	}
+}

@@ -49,6 +49,10 @@ var cachedGetters = map[string]bool{
 	"BLevelsNoComm": true, "TLevels": true, "ALAPTimes": true,
 	"CriticalPath": true, "Descendants": true, "Ancestors": true,
 	"CSR": true,
+	// Canonical-form views (hash.go): the permutation and encoding are
+	// memoized in the analysis cache and returned unclosed. (The hash
+	// itself is a value type, so CanonicalHash needs no tracking.)
+	"CanonicalPerm": true, "CanonicalEncoding": true,
 }
 
 // csrGetters are the dag.CSR accessors whose results alias the cached

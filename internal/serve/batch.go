@@ -15,7 +15,9 @@ import (
 // Items are admitted with the blocking path, so a batch larger than
 // the queue feeds the pool at the pool's pace instead of flooding it.
 // Submission runs concurrently with emission: early items stream out
-// while later ones are still queued.
+// while later ones are still queued. With a cache configured, items
+// are resolved through it concurrently (hits bypass the queue) and
+// each Result carries its CacheStatus.
 //
 // If ctx ends mid-batch, items not yet admitted are reported with
 // ctx's error and items in flight are cancelled by the workers; emit
@@ -32,13 +34,35 @@ func (p *Pipeline) ScheduleBatch(ctx context.Context, factory func() heuristics.
 	// Capacity n: every item delivers exactly one Result here, either
 	// from a worker or from a failed submit, so nothing ever blocks.
 	done := make(chan Result, n)
-	go func() {
-		for i, g := range graphs {
-			if err := p.submit(ctx, factory(), g, i, done); err != nil {
-				done <- Result{Index: i, Err: err}
+	if p.cache != nil {
+		// Cached path: items resolve through the cache concurrently so
+		// a hit on item k streams out without waiting behind item k-1's
+		// computation. The goroutine fan-out is bounded separately from
+		// the queue because hits never enter the queue at all; misses
+		// still use blocking admission, preserving the backpressure
+		// contract. factory runs sequentially in submission order — its
+		// implementations may mutate shared state.
+		go func() {
+			sem := make(chan struct{}, p.cfg.Workers+p.cfg.QueueDepth)
+			for i, g := range graphs {
+				s := factory()
+				sem <- struct{}{}
+				go func(i int, s heuristics.Scheduler, g *dag.Graph) {
+					defer func() { <-sem }()
+					sc, st, err := p.scheduleCached(ctx, s, g, true)
+					done <- Result{Index: i, Schedule: sc, Cache: st, Err: err}
+				}(i, s, g)
 			}
-		}
-	}()
+		}()
+	} else {
+		go func() {
+			for i, g := range graphs {
+				if err := p.submit(ctx, factory(), g, i, done); err != nil {
+					done <- Result{Index: i, Err: err}
+				}
+			}
+		}()
+	}
 
 	pending := make([]*Result, n)
 	next := 0

@@ -24,12 +24,14 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/obs"
 	"schedcomp/internal/sched"
+	"schedcomp/internal/schedcache"
 )
 
 // ErrQueueFull is returned by Schedule when the admission queue is at
@@ -46,6 +48,13 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the admission queue. Default 4×Workers.
 	QueueDepth int
+	// Cache, when non-nil, short-circuits requests whose canonical
+	// graph content was already scheduled by the same heuristic: hits
+	// are served ahead of admission and never shed. Misses schedule
+	// the canonically relabeled graph through the normal queue, so
+	// every member of an isomorphism class gets the byte-identical
+	// schedule (modulo its own node labels).
+	Cache *schedcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -58,10 +67,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// CacheStatus says whether a result came from the schedule cache.
+type CacheStatus string
+
+const (
+	// CacheNone: the pipeline has no cache configured.
+	CacheNone CacheStatus = ""
+	// CacheHit: served from the cache (or coalesced onto a concurrent
+	// identical computation) without scheduling.
+	CacheHit CacheStatus = "hit"
+	// CacheMiss: this request computed the schedule.
+	CacheMiss CacheStatus = "miss"
+)
+
 // Result is one finished scheduling request.
 type Result struct {
 	Index    int // position in the submitting batch; 0 for singles
 	Schedule *sched.Schedule
+	Cache    CacheStatus
 	Err      error
 }
 
@@ -86,6 +109,15 @@ type Pipeline struct {
 	mu     sync.RWMutex
 	closed bool
 
+	cache *schedcache.Cache
+
+	// Service-time ledger for RetryAfter, kept separately from the
+	// obs histogram: the registry may be disabled (histograms then
+	// drop observations), and obs.Default() is shared across
+	// pipelines, so neither is a sound estimator input.
+	svcCount atomic.Uint64
+	svcNanos atomic.Int64
+
 	depth     *obs.Gauge
 	queueWait *obs.Histogram
 	service   *obs.Histogram
@@ -104,6 +136,7 @@ func New(cfg Config, reg *obs.Registry) *Pipeline {
 	p := &Pipeline{
 		cfg:   cfg,
 		queue: make(chan task, cfg.QueueDepth),
+		cache: cfg.Cache,
 
 		depth: reg.Gauge("serve_queue_depth",
 			"Requests waiting in the admission queue."),
@@ -213,7 +246,10 @@ func (p *Pipeline) worker() {
 		}
 		t0 := time.Now()
 		sc, err := heuristics.RunContext(t.ctx, t.s, t.g)
-		p.service.Observe(time.Since(t0).Seconds())
+		elapsed := time.Since(t0)
+		p.service.Observe(elapsed.Seconds())
+		p.svcCount.Add(1)
+		p.svcNanos.Add(int64(elapsed))
 		switch {
 		case err == nil:
 			p.completed.Inc()
@@ -230,14 +266,20 @@ func (p *Pipeline) worker() {
 // RetryAfter estimates how long a shed client should wait before
 // retrying: the observed mean service time times the number of
 // requests one worker slot has in front of it. Clamped to [1s, 30s];
-// 1s when no service times have been observed yet.
+// 1s on a cold pipeline that has completed nothing yet.
+//
+// The estimate reads the pipeline's own atomic service-time ledger,
+// not the obs histogram: a freshly booted server with the registry
+// disabled (or several pipelines sharing obs.Default()) would
+// otherwise compute the hint from zero or foreign observations, and
+// the all-integer math cannot produce NaN or a zero header value.
 func (p *Pipeline) RetryAfter() time.Duration {
-	n := p.service.Count()
+	n := p.svcCount.Load()
 	if n == 0 {
 		return time.Second
 	}
-	mean := p.service.Sum() / float64(n)
-	est := time.Duration(mean * float64(p.cfg.QueueDepth) / float64(p.cfg.Workers) * float64(time.Second))
+	mean := p.svcNanos.Load() / int64(n)
+	est := time.Duration(mean * int64(p.cfg.QueueDepth) / int64(p.cfg.Workers))
 	if est < time.Second {
 		return time.Second
 	}
