@@ -38,6 +38,11 @@ type loadConfig struct {
 	// content-unique weight perturbations, so a schedule cache can
 	// never serve them from a prior entry.
 	Dup float64
+	// Quality drives ?quality=best instead of a single heuristic;
+	// Budget is the per-request refinement allowance. Quality is
+	// single-request only (the server rejects quality batches).
+	Quality bool
+	Budget  time.Duration
 }
 
 // Report aggregates one load run. Serialized as the CI artifact.
@@ -64,6 +69,12 @@ type Report struct {
 	CacheHits          int     `json:"cache_hits"`
 	CacheMisses        int     `json:"cache_misses"`
 	CacheHitRate       float64 `json:"cache_hit_rate"`
+	Quality            bool    `json:"quality,omitempty"`
+	BudgetMs           float64 `json:"budget_ms,omitempty"`
+	ProvenOptimal      int     `json:"proven_optimal,omitempty"`
+	OvershootP50       float64 `json:"overshoot_p50"`
+	OvershootP99       float64 `json:"overshoot_p99"`
+	OvershootMax       float64 `json:"overshoot_max"`
 	LatencyP50Ms       float64 `json:"latency_p50_ms"`
 	LatencyP90Ms       float64 `json:"latency_p90_ms"`
 	LatencyP99Ms       float64 `json:"latency_p99_ms"`
@@ -90,6 +101,10 @@ func (r *Report) Print(w io.Writer) {
 		fmt.Fprintf(w, "  cache      %d hits / %d misses (hit rate %.1f%%)\n",
 			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
 	}
+	if r.Quality {
+		fmt.Fprintf(w, "  quality    budget=%.0fms, %d proven optimal, overshoot p50=%.3f p99=%.3f max=%.3f\n",
+			r.BudgetMs, r.ProvenOptimal, r.OvershootP50, r.OvershootP99, r.OvershootMax)
+	}
 	fmt.Fprintf(w, "  served ms  p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		r.LatencyP50Ms, r.LatencyP90Ms, r.LatencyP99Ms, r.LatencyMaxMs)
 	if r.Shed > 0 {
@@ -114,6 +129,37 @@ type scheduleBody struct {
 	Cache       string       `json:"cache"`
 	Makespan    int64        `json:"makespan"`
 	Assignments []assignment `json:"assignments"`
+	Quality     *qualityWire `json:"quality"`
+}
+
+// qualityWire is the provenance block of a quality-tier response.
+type qualityWire struct {
+	LowerBound int64   `json:"lower_bound"`
+	Gap        int64   `json:"gap"`
+	Proven     bool    `json:"proven"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	BudgetMs   float64 `json:"budget_ms"`
+}
+
+// checkQuality enforces the quality-tier contract on the wire: the
+// block must be present and internally sound (gap identity against
+// the reported makespan, non-negative, Proven exactly when the gap
+// closed). A server quietly downgrading to the plain tier fails here.
+func checkQuality(body scheduleBody) error {
+	q := body.Quality
+	if q == nil {
+		return fmt.Errorf("quality request answered without a quality block")
+	}
+	if q.Gap != body.Makespan-q.LowerBound {
+		return fmt.Errorf("gap %d != makespan %d - lower bound %d", q.Gap, body.Makespan, q.LowerBound)
+	}
+	if q.Gap < 0 {
+		return fmt.Errorf("negative gap %d", q.Gap)
+	}
+	if q.Proven != (q.Gap == 0) {
+		return fmt.Errorf("proven = %v with gap %d", q.Proven, q.Gap)
+	}
+	return nil
 }
 
 // checkSchedule rebuilds the placement the server returned and
@@ -155,10 +201,11 @@ func checkSchedule(g *dag.Graph, body scheduleBody) error {
 
 // tally is the shared, mutex-guarded run accumulator.
 type tally struct {
-	mu     sync.Mutex
-	report Report
-	served []float64 // milliseconds, one per 200 response
-	shed   []float64 // milliseconds, one per 429 response
+	mu        sync.Mutex
+	report    Report
+	served    []float64 // milliseconds, one per 200 response
+	shed      []float64 // milliseconds, one per 429 response
+	overshoot []float64 // budget-overshoot ratios, one per quality 200
 }
 
 func (a *tally) addServed(d time.Duration) {
@@ -170,6 +217,19 @@ func (a *tally) addServed(d time.Duration) {
 func (a *tally) addShed(d time.Duration) {
 	a.mu.Lock()
 	a.shed = append(a.shed, float64(d)/float64(time.Millisecond))
+	a.mu.Unlock()
+}
+
+// addOvershoot records how far the server-reported refinement time ran
+// past the requested budget, as a ratio of the budget (0 when within
+// it).
+func (a *tally) addOvershoot(elapsedMs, budgetMs float64) {
+	over := (elapsedMs - budgetMs) / budgetMs
+	if over < 0 {
+		over = 0
+	}
+	a.mu.Lock()
+	a.overshoot = append(a.overshoot, over)
 	a.mu.Unlock()
 }
 
@@ -336,6 +396,14 @@ func runLoad(cfg loadConfig) (*Report, error) {
 	if cfg.Batch < 0 {
 		cfg.Batch = 0
 	}
+	if cfg.Quality {
+		if cfg.Batch > 1 {
+			return nil, fmt.Errorf("the quality tier is single-request only (got -batch %d)", cfg.Batch)
+		}
+		if cfg.Budget <= 0 {
+			return nil, fmt.Errorf("quality budget %v must be positive", cfg.Budget)
+		}
+	}
 	c, err := corpus.Generate(corpus.Spec{
 		Seed: cfg.Seed, GraphsPerSet: 1, MinNodes: cfg.MinNodes, MaxNodes: cfg.MaxNodes,
 	})
@@ -410,6 +478,11 @@ func runLoad(cfg loadConfig) (*Report, error) {
 
 	rep := acc.report
 	rep.Heuristic = cfg.Heuristic
+	if cfg.Quality {
+		rep.Heuristic = "quality:best"
+		rep.Quality = true
+		rep.BudgetMs = float64(cfg.Budget) / float64(time.Millisecond)
+	}
 	rep.Batch = cfg.Batch
 	rep.Clients = cfg.Conc
 	rep.DupRatio = src.dup
@@ -437,6 +510,12 @@ func runLoad(cfg loadConfig) (*Report, error) {
 		_, max := stats.MinMax(acc.shed)
 		rep.ShedLatencyMaxMs = max
 	}
+	if len(acc.overshoot) > 0 {
+		rep.OvershootP50 = stats.Quantile(acc.overshoot, 0.50)
+		rep.OvershootP99 = stats.Quantile(acc.overshoot, 0.99)
+		_, max := stats.MinMax(acc.overshoot)
+		rep.OvershootMax = max
+	}
 	return &rep, nil
 }
 
@@ -447,8 +526,12 @@ func doSingle(client *http.Client, cfg loadConfig, rng *rand.Rand, src *trafficS
 		acc.count(func(r *Report) { r.Requests++; r.Items++; r.TransportErrors++ })
 		return
 	}
+	url := cfg.Addr + "/schedule?heuristic=" + cfg.Heuristic
+	if cfg.Quality {
+		url = cfg.Addr + "/schedule?quality=best&budget=" + cfg.Budget.String()
+	}
 	t0 := time.Now()
-	resp, err := client.Post(cfg.Addr+"/schedule?heuristic="+cfg.Heuristic, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	lat := time.Since(t0)
 	if err != nil {
 		acc.count(func(r *Report) { r.Requests++; r.Items++; r.TransportErrors++ })
@@ -468,6 +551,16 @@ func doSingle(client *http.Client, cfg loadConfig, rng *rand.Rand, src *trafficS
 		if err := checkSchedule(g, sb); err != nil {
 			acc.count(func(r *Report) { r.ValidationFailures++; countCache(r, cacheStatus) })
 			return
+		}
+		if cfg.Quality {
+			if err := checkQuality(sb); err != nil {
+				acc.count(func(r *Report) { r.ValidationFailures++; countCache(r, cacheStatus) })
+				return
+			}
+			acc.addOvershoot(sb.Quality.ElapsedMs, float64(cfg.Budget)/float64(time.Millisecond))
+			if sb.Quality.Proven {
+				acc.count(func(r *Report) { r.ProvenOptimal++ })
+			}
 		}
 		acc.count(func(r *Report) { r.OK++; countCache(r, cacheStatus) })
 	case http.StatusTooManyRequests:

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +22,14 @@ type stubOptions struct {
 	shedEvery  int64
 	serveDelay time.Duration
 	cacheAware bool
+	// qualityFactor, when positive, makes the stub answer ?quality=best
+	// with a quality block whose elapsed_ms is factor × the requested
+	// budget (so overshoot ratios are deterministic). Zero means the
+	// stub ignores the parameter entirely — a downgrading server the
+	// client must flag.
+	qualityFactor float64
+	// brokenGap corrupts the quality block's gap field.
+	brokenGap bool
 }
 
 // stubServe is a minimal schedserve stand-in: it really schedules with
@@ -48,13 +57,32 @@ func stubServeOpts(t *testing.T, opts stubOptions) *httptest.Server {
 		seen[fp] = true
 		return "miss"
 	}
-	writeItem := func(w http.ResponseWriter, g *dag.Graph, index int, cache string) {
+	writeItem := func(w http.ResponseWriter, g *dag.Graph, index int, cache string, budget string) {
 		sc, err := heuristics.Run(mcp.New(), g)
 		if err != nil {
 			t.Errorf("stub schedule: %v", err)
 			return
 		}
 		body := scheduleBody{Index: index, Makespan: sc.Makespan, Cache: cache}
+		if budget != "" && opts.qualityFactor > 0 {
+			b, err := time.ParseDuration(budget)
+			if err != nil {
+				t.Errorf("stub budget %q: %v", budget, err)
+				return
+			}
+			budgetMs := float64(b) / float64(time.Millisecond)
+			q := &qualityWire{
+				LowerBound: sc.Makespan, // gap 0: pretend the probe proved it
+				Gap:        0,
+				Proven:     true,
+				BudgetMs:   budgetMs,
+				ElapsedMs:  budgetMs * opts.qualityFactor,
+			}
+			if opts.brokenGap {
+				q.Gap = 7
+			}
+			body.Quality = q
+		}
 		for _, a := range sc.ByNode {
 			body.Assignments = append(body.Assignments, assignment{
 				Node: int(a.Node), Proc: a.Proc, Start: a.Start, Finish: a.Finish,
@@ -81,7 +109,11 @@ func stubServeOpts(t *testing.T, opts stubOptions) *httptest.Server {
 		if cache != "" {
 			w.Header().Set("X-Sched-Cache", cache)
 		}
-		writeItem(w, g, 0, cache)
+		budget := ""
+		if r.URL.Query().Get("quality") == "best" {
+			budget = r.URL.Query().Get("budget")
+		}
+		writeItem(w, g, 0, cache, budget)
 	})
 	mux.HandleFunc("/schedule/batch", func(w http.ResponseWriter, r *http.Request) {
 		var graphs []*dag.Graph
@@ -94,7 +126,7 @@ func stubServeOpts(t *testing.T, opts stubOptions) *httptest.Server {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		for i, g := range graphs {
-			writeItem(w, g, i, cacheStatus(g))
+			writeItem(w, g, i, cacheStatus(g), "")
 		}
 	})
 	ts := httptest.NewServer(mux)
@@ -295,5 +327,98 @@ func TestCheckScheduleRejectsCorruption(t *testing.T) {
 	truncated.Assignments = truncated.Assignments[:1]
 	if err := checkSchedule(g, truncated); err == nil {
 		t.Fatal("truncated assignment list accepted")
+	}
+}
+
+// TestRunLoadQuality drives the quality tier at a stub whose reported
+// refinement time overshoots the budget by a fixed 5%: every response
+// must validate (schedule AND quality block), and the overshoot
+// quantiles must reproduce the stub's factor exactly.
+func TestRunLoadQuality(t *testing.T) {
+	ts := stubServeOpts(t, stubOptions{qualityFactor: 1.05})
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Quality = true
+	cfg.Budget = 20 * time.Millisecond
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.ValidationFailures != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("quality run: %+v", rep)
+	}
+	if !rep.Quality || rep.Heuristic != "quality:best" || rep.BudgetMs != 20 {
+		t.Fatalf("quality fields not reported: %+v", rep)
+	}
+	if rep.ProvenOptimal != rep.OK {
+		t.Fatalf("stub proves every result but report says %d of %d", rep.ProvenOptimal, rep.OK)
+	}
+	const want = 0.05
+	for name, got := range map[string]float64{
+		"p50": rep.OvershootP50, "p99": rep.OvershootP99, "max": rep.OvershootMax,
+	} {
+		if got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("overshoot %s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// A server that quietly ignores ?quality=best and answers with a plain
+// schedule must show up as validation failures, not silent success.
+func TestRunLoadQualityFlagsDowngradingServer(t *testing.T) {
+	ts := stubServeOpts(t, stubOptions{}) // stub ignores the quality param
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Quality = true
+	cfg.Budget = 20 * time.Millisecond
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 0 || rep.ValidationFailures == 0 {
+		t.Fatalf("downgraded responses accepted: %+v", rep)
+	}
+}
+
+// A quality block with an inconsistent gap is corruption, same as a
+// forged makespan.
+func TestRunLoadQualityFlagsBrokenGap(t *testing.T) {
+	ts := stubServeOpts(t, stubOptions{qualityFactor: 1, brokenGap: true})
+	cfg := shortLoadConfig(ts.URL)
+	cfg.Quality = true
+	cfg.Budget = 20 * time.Millisecond
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 0 || rep.ValidationFailures == 0 {
+		t.Fatalf("broken gap accepted: %+v", rep)
+	}
+}
+
+// Quality-mode config validation: batch and non-positive budgets are
+// rejected before any traffic is sent, and the CLI refuses the
+// contradictory flag combinations.
+func TestQualityConfigValidation(t *testing.T) {
+	cfg := shortLoadConfig("http://127.0.0.1:0")
+	cfg.Quality = true
+	cfg.Budget = 10 * time.Millisecond
+	cfg.Batch = 4
+	if _, err := runLoad(cfg); err == nil {
+		t.Fatal("quality batch accepted")
+	}
+	cfg.Batch = 0
+	cfg.Budget = 0
+	if _, err := runLoad(cfg); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	for _, args := range [][]string{
+		{"-budget", "5ms"},                // budget without quality
+		{"-quality", "-heuristic", "MCP"}, // contradictory selection
+		{"-quality", "-batch", "4"},       // quality batch
+		{"-quality", "-budget", "-5ms"},   // negative budget
+		{"-quality", "-budget", "5ms", "-batch", "2"},
+	} {
+		if code := run(args, os.Stdout); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
 	}
 }

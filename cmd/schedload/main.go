@@ -43,9 +43,34 @@ func run(args []string, out *os.File) int {
 		minNodes  = fs.Int("min-nodes", 24, "minimum graph size")
 		maxNodes  = fs.Int("max-nodes", 48, "maximum graph size")
 		dup       = fs.Float64("dup", 0, "fraction of requests repeating pool content (identical/renamed/relabeled copies); the rest are content-unique")
+		quality   = fs.Bool("quality", false, "request the anytime quality tier (?quality=best) instead of a single heuristic")
+		budget    = fs.Duration("budget", 50*time.Millisecond, "refinement budget per quality request (only with -quality)")
 		report    = fs.String("report", "", "write the JSON report to this file as well as stdout")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var budgetSet, heuristicSet bool
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "budget":
+			budgetSet = true
+		case "heuristic":
+			heuristicSet = true
+		}
+	})
+	switch {
+	case budgetSet && !*quality:
+		log.Print("schedload: -budget requires -quality")
+		return 2
+	case *quality && heuristicSet:
+		log.Print("schedload: -quality runs the whole portfolio; drop -heuristic")
+		return 2
+	case *quality && *batch > 1:
+		log.Print("schedload: the quality tier is single-request only; drop -batch")
+		return 2
+	case *quality && *budget <= 0:
+		log.Printf("schedload: budget %v must be positive", *budget)
 		return 2
 	}
 
@@ -53,7 +78,7 @@ func run(args []string, out *os.File) int {
 		Addr: *addr, RPS: *rps, Conc: *conc, Dur: *dur,
 		Heuristic: *heuristic, Batch: *batch,
 		Seed: *seed, MinNodes: *minNodes, MaxNodes: *maxNodes,
-		Dup: *dup,
+		Dup: *dup, Quality: *quality, Budget: *budget,
 	}
 	rep, err := runLoad(cfg)
 	if err != nil {

@@ -105,3 +105,89 @@ func FuzzScheduleHandler(f *testing.F) {
 		}
 	})
 }
+
+// FuzzQualityParams throws arbitrary quality/budget query parameters
+// at /schedule over a fixed valid graph: negative, huge, and garbage
+// budgets, bad units, budgets beyond the request deadline, and
+// contradictory combinations must all answer 4xx — never a panic, a
+// 500, or a silent fall-through to a tier the client did not ask for.
+// Seeds live in testdata/fuzz/FuzzQualityParams.
+func FuzzQualityParams(f *testing.F) {
+	sample, err := os.ReadFile("testdata/sample_dag.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("best", "50ms")
+	f.Add("best", "")
+	f.Add("", "50ms")
+	f.Add("worst", "1ms")
+	f.Add("BEST", "5ms")
+	f.Add("best", "-5ms")
+	f.Add("best", "0s")
+	f.Add("best", "fifty")
+	f.Add("best", "50")
+	f.Add("best", "1h")
+	f.Add("best", "9223372036854775807ns")
+	f.Add("best", "1ms1ms1ms")
+	f.Add("best\x00", "5ms")
+	f.Add("best", "µs")
+
+	f.Fuzz(func(t *testing.T, quality, budget string) {
+		h := fuzzHandler()
+		// Two forms: parameters always present (possibly empty), and
+		// present only when non-empty — the absent/empty distinction is
+		// part of the contract.
+		queries := []string{
+			"?quality=" + url.QueryEscape(quality) + "&budget=" + url.QueryEscape(budget),
+		}
+		q2 := ""
+		if quality != "" {
+			q2 = "?quality=" + url.QueryEscape(quality)
+		}
+		if budget != "" {
+			if q2 == "" {
+				q2 = "?"
+			} else {
+				q2 += "&"
+			}
+			q2 += "budget=" + url.QueryEscape(budget)
+		}
+		if q2 != "" && q2 != queries[0] {
+			queries = append(queries, q2)
+		}
+		for _, q := range queries {
+			req := httptest.NewRequest(http.MethodPost, "/schedule"+q, bytes.NewReader(sample))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if !fuzzOKCode(rec.Code) {
+				t.Fatalf("status %d for query %q (%s)", rec.Code, q, rec.Body.Bytes())
+			}
+			if rec.Code == http.StatusOK {
+				if !json.Valid(rec.Body.Bytes()) {
+					t.Fatalf("200 with invalid JSON for query %q", q)
+				}
+				// A 200 under quality=best must carry the quality block;
+				// any other accepted request must not.
+				var resp struct {
+					Quality *struct {
+						Gap        int64 `json:"gap"`
+						LowerBound int64 `json:"lower_bound"`
+					} `json:"quality"`
+					Makespan int64 `json:"makespan"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Fatal(err)
+				}
+				if quality == "best" && resp.Quality == nil {
+					t.Fatalf("quality=best answered 200 without a quality block (query %q)", q)
+				}
+				if resp.Quality != nil {
+					if resp.Quality.Gap != resp.Makespan-resp.Quality.LowerBound || resp.Quality.Gap < 0 {
+						t.Fatalf("gap identity violated for query %q: %+v makespan %d",
+							q, resp.Quality, resp.Makespan)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"schedcomp/internal/serve"
+)
+
+// qualityResponse mirrors the wire shape a quality-tier client decodes.
+type qualityResponse struct {
+	Heuristic string `json:"heuristic"`
+	Makespan  int64  `json:"makespan"`
+	Quality   *struct {
+		LowerBound   int64   `json:"lower_bound"`
+		Gap          int64   `json:"gap"`
+		Proven       bool    `json:"proven"`
+		Generations  int     `json:"generations"`
+		Improvements int     `json:"improvements"`
+		BnbStates    int64   `json:"bnb_states"`
+		Seed         string  `json:"seed"`
+		BudgetMs     float64 `json:"budget_ms"`
+		ElapsedMs    float64 `json:"elapsed_ms"`
+	} `json:"quality"`
+}
+
+func decodeQuality(t *testing.T, resp *http.Response) qualityResponse {
+	t.Helper()
+	var got qualityResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestScheduleQualityEndpoint(t *testing.T) {
+	ts := newTestServer(t, serverOptions{Timeout: 5 * time.Second})
+	resp := postSchedule(t, ts, "?quality=best&budget=50ms", sampleDAG(t))
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	got := decodeQuality(t, resp)
+	if got.Heuristic != serve.QualityBest {
+		t.Fatalf("heuristic = %q, want %q", got.Heuristic, serve.QualityBest)
+	}
+	if got.Quality == nil {
+		t.Fatal("response has no quality block")
+	}
+	q := got.Quality
+	if q.Gap != got.Makespan-q.LowerBound {
+		t.Fatalf("gap %d != makespan %d - lower bound %d", q.Gap, got.Makespan, q.LowerBound)
+	}
+	if q.Gap < 0 {
+		t.Fatalf("negative gap %d", q.Gap)
+	}
+	if q.Proven != (q.Gap == 0) {
+		t.Fatalf("proven = %v with gap %d", q.Proven, q.Gap)
+	}
+	if q.Seed == "" {
+		t.Fatal("quality block lost its seeding heuristic")
+	}
+	if q.BudgetMs != 50 {
+		t.Fatalf("budget_ms = %v, want 50", q.BudgetMs)
+	}
+}
+
+// The default budget applies when quality=best is given without one.
+func TestScheduleQualityDefaultBudget(t *testing.T) {
+	ts := newTestServer(t, serverOptions{Timeout: 5 * time.Second})
+	resp := postSchedule(t, ts, "?quality=best", sampleDAG(t))
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	got := decodeQuality(t, resp)
+	if got.Quality == nil || got.Quality.BudgetMs != 50 {
+		t.Fatalf("quality block %+v, want default 50ms budget", got.Quality)
+	}
+}
+
+// Every malformed quality/budget combination is a client error: the
+// server must never silently fall back to a different tier, truncate
+// a budget, or accept a contradictory heuristic selection.
+func TestScheduleQualityParamValidation(t *testing.T) {
+	ts := newTestServer(t, serverOptions{Timeout: 2 * time.Second})
+	body := sampleDAG(t)
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"unknown quality", "?quality=worst"},
+		{"empty quality", "?quality="},
+		{"quality casing", "?quality=BEST"},
+		{"budget without quality", "?budget=50ms"},
+		{"empty budget", "?quality=best&budget="},
+		{"garbage budget", "?quality=best&budget=fifty"},
+		{"unitless budget", "?quality=best&budget=50"},
+		{"negative budget", "?quality=best&budget=-5ms"},
+		{"zero budget", "?quality=best&budget=0s"},
+		{"budget beyond deadline", "?quality=best&budget=1h"},
+		{"huge budget", "?quality=best&budget=9223372036s"},
+		{"quality with heuristic", "?quality=best&heuristic=MCP"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postSchedule(t, ts, tc.query, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("%s: status = %d, want 400 (%s)", tc.query, resp.StatusCode, b)
+			}
+		})
+	}
+}
+
+// Without a server timeout the static 10s cap governs ?budget=.
+func TestScheduleQualityBudgetCapWithoutTimeout(t *testing.T) {
+	ts := newTestServer(t, serverOptions{})
+	resp := postSchedule(t, ts, "?quality=best&budget=11s", sampleDAG(t))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	resp = postSchedule(t, ts, "?quality=best&budget=5ms", sampleDAG(t))
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// The batch endpoint has no quality tier; asking for one is an error,
+// not a silent downgrade of the whole batch.
+func TestScheduleBatchRejectsQuality(t *testing.T) {
+	ts := newTestServer(t, serverOptions{})
+	batch := "[" + sampleDAG(t) + "]"
+	for _, query := range []string{"?quality=best", "?budget=50ms", "?quality=best&budget=50ms"} {
+		resp, err := http.Post(ts.URL+"/schedule/batch"+query, "application/json", strings.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", query, resp.StatusCode)
+		}
+	}
+}
+
+// A repeated quality request must hit the cache and keep its certified
+// provenance on the wire.
+func TestScheduleQualityCacheHit(t *testing.T) {
+	ts := newTestServer(t, serverOptions{Timeout: 5 * time.Second, CacheEntries: 32})
+	body := sampleDAG(t)
+
+	first := postSchedule(t, ts, "?quality=best&budget=20ms", body)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first status = %d", first.StatusCode)
+	}
+	if st := first.Header.Get("X-Sched-Cache"); st != "miss" {
+		t.Fatalf("first X-Sched-Cache = %q, want miss", st)
+	}
+	fr := decodeQuality(t, first)
+
+	second := postSchedule(t, ts, "?quality=best&budget=20ms", body)
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d", second.StatusCode)
+	}
+	if st := second.Header.Get("X-Sched-Cache"); st != "hit" {
+		t.Fatalf("second X-Sched-Cache = %q, want hit", st)
+	}
+	sr := decodeQuality(t, second)
+	if sr.Makespan != fr.Makespan || sr.Quality == nil || fr.Quality == nil ||
+		sr.Quality.LowerBound != fr.Quality.LowerBound || sr.Quality.Proven != fr.Quality.Proven {
+		t.Fatalf("hit lost provenance:\nmiss %+v\nhit  %+v", fr, sr)
+	}
+}

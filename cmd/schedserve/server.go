@@ -12,9 +12,11 @@ import (
 	"strconv"
 	"time"
 
+	"schedcomp/internal/anytime"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/obs"
+	"schedcomp/internal/sched"
 	"schedcomp/internal/schedcache"
 	"schedcomp/internal/serve"
 )
@@ -178,6 +180,7 @@ type scheduleResponse struct {
 	Speedup     float64          `json:"speedup"`
 	Efficiency  float64          `json:"efficiency"`
 	Assignments []assignmentJSON `json:"assignments"`
+	Quality     *qualityJSON     `json:"quality,omitempty"`
 	Trace       json.RawMessage  `json:"trace,omitempty"`
 }
 
@@ -185,20 +188,41 @@ type scheduleResponse struct {
 // heuristic with ?heuristic= (default MCP), get the timed schedule
 // back as JSON, or as a text Gantt chart with ?format=gantt. ?trace=1
 // embeds the request's span trace in the JSON response.
+//
+// ?quality=best selects the anytime tier instead of a single
+// heuristic: the response then carries a "quality" block with the
+// proven lower bound and optimality gap; ?budget= bounds the
+// refinement time (default 50ms, never beyond the request deadline).
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		httpError(w, http.StatusMethodNotAllowed, "POST a DAG as JSON")
 		return
 	}
-	name := r.URL.Query().Get("heuristic")
-	if name == "" {
-		name = "MCP"
-	}
-	sc, err := heuristics.New(name)
+	query := r.URL.Query()
+	qp, err := parseQuality(query, s.opts.Timeout)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	name := query.Get("heuristic")
+	if qp.enabled && name != "" {
+		httpError(w, http.StatusBadRequest,
+			"quality=best runs the whole heuristic portfolio; drop the heuristic parameter")
+		return
+	}
+	if name == "" {
+		name = "MCP"
+	}
+	var sc heuristics.Scheduler
+	if qp.enabled {
+		name = serve.QualityBest
+	} else {
+		sc, err = heuristics.New(name)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 
 	tr := obs.NewTrace("schedule " + name)
@@ -213,7 +237,17 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	run := tr.Span("schedule")
-	schedule, cacheStatus, err := s.pipe.ScheduleCached(ctx, sc, g) //lint:boundedlabel cache labels use Scheduler.Name(), a finite registry set
+	var schedule *sched.Schedule
+	var cacheStatus serve.CacheStatus
+	var best *anytime.Result
+	if qp.enabled {
+		best, cacheStatus, err = s.pipe.ScheduleBest(ctx, g, qp.budget) //lint:boundedlabel quality labels are the QualityBest constant plus Scheduler.Name(), a finite registry set
+		if best != nil {
+			schedule = best.Schedule
+		}
+	} else {
+		schedule, cacheStatus, err = s.pipe.ScheduleCached(ctx, sc, g) //lint:boundedlabel cache labels use Scheduler.Name(), a finite registry set
+	}
 	run.End()
 	if err != nil {
 		s.scheduleError(w, err)
@@ -240,6 +274,9 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Speedup:     schedule.Speedup(),
 		Efficiency:  schedule.Efficiency(),
 		Assignments: make([]assignmentJSON, 0, len(schedule.ByNode)),
+	}
+	if best != nil {
+		resp.Quality = qualityBlock(best, qp.budget)
 	}
 	for _, a := range schedule.ByNode {
 		resp.Assignments = append(resp.Assignments, assignmentJSON{
@@ -290,6 +327,13 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", http.MethodPost)
 		httpError(w, http.StatusMethodNotAllowed, "POST a JSON array of DAGs")
 		return
+	}
+	for _, p := range []string{"quality", "budget"} {
+		if _, has := r.URL.Query()[p]; has {
+			httpError(w, http.StatusBadRequest,
+				"the quality tier is single-request only; "+p+" is not accepted on /schedule/batch")
+			return
+		}
 	}
 	name := r.URL.Query().Get("heuristic")
 	if name == "" {

@@ -1,0 +1,106 @@
+package anytime_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"schedcomp/internal/anytime"
+	"schedcomp/internal/dag"
+)
+
+// trippingContext reports cancellation after a fixed number of Err
+// polls, so the test cancels the optimizer deterministically in the
+// middle of a generation (wall-clock cancellation would be racy).
+type trippingContext struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	fuse  int
+}
+
+func (c *trippingContext) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls > c.fuse {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *trippingContext) polled() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// cancelGraph is a 31-task expensive-communication fork: the
+// communication-free lower bound (110) is unreachable by any real
+// schedule, so the optimizer can never prove gap 0 and terminate early
+// — only the tripping context (or the generation cap) can end the run.
+// It is also too large for the branch-and-bound probe.
+func cancelGraph() *dag.Graph {
+	g := dag.New("cancel")
+	root := g.AddNode(10)
+	for i := 0; i < 30; i++ {
+		v := g.AddNode(100)
+		g.MustAddEdge(root, v, 500)
+	}
+	return g
+}
+
+// A context that expires mid-generation must abandon the run with the
+// context's error and no (stale) result, and must not leak goroutines
+// — the optimizer is single-goroutine by design, and this pins it.
+func TestMidGenerationCancellation(t *testing.T) {
+	g := cancelGraph()
+	baseline := runtime.NumGoroutine()
+	// Fuses chosen to trip at different phases: during heuristic
+	// seeding, during the population fill, and well into the
+	// generation loop (the offspring loop polls once per child).
+	for _, fuse := range []int{1, 5, 40, 200, 1000} {
+		ctx := &trippingContext{Context: context.Background(), fuse: fuse}
+		res, err := anytime.Optimize(ctx, g, anytime.Options{
+			Generations: 10_000, // would run ~forever without the trip
+			Population:  16,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("fuse %d: err = %v, want context.Canceled", fuse, err)
+		}
+		if res != nil {
+			t.Fatalf("fuse %d: got stale result %+v after cancellation", fuse, res)
+		}
+		if ctx.polled() <= fuse {
+			t.Fatalf("fuse %d: context polled only %d times", fuse, ctx.polled())
+		}
+	}
+	// Give any stray goroutine a moment to show itself, then require
+	// the count back at (or below) the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A pre-cancelled context must fail fast without touching the graph.
+func TestPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := anytime.Optimize(ctx, cancelGraph(), anytime.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("result %+v from pre-cancelled context", res)
+	}
+}

@@ -1,0 +1,13 @@
+package anytime_test
+
+import (
+	"testing"
+
+	"schedcomp/internal/heuristics/schedtest"
+)
+
+// The determinism twin: fixed seed + fixed budget-in-generations must
+// yield byte-identical trajectories, including under GOMAXPROCS(1).
+func TestAnytimeDeterministic(t *testing.T) {
+	schedtest.RequireDeterministicAnytime(t)
+}

@@ -1,0 +1,59 @@
+package clans
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"schedcomp/internal/dag"
+)
+
+// pollTripContext cancels after a fixed number of Err polls, landing
+// the cancellation deterministically inside the clan-tree walk.
+type pollTripContext struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	fuse  int
+}
+
+func (c *pollTripContext) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls > c.fuse {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Regression: a cancellation landing between two children of a linear
+// or independent clan used to leave an empty fragment whose lanes were
+// then indexed, panicking instead of returning ctx's error.
+func TestMidTreeCancellationDoesNotPanic(t *testing.T) {
+	g := dag.New("fork")
+	root := g.AddNode(10)
+	for i := 0; i < 24; i++ {
+		v := g.AddNode(100)
+		g.MustAddEdge(root, v, 500)
+	}
+	for fuse := 1; fuse < 30; fuse++ {
+		ctx := &pollTripContext{Context: context.Background(), fuse: fuse}
+		pl, err := New().ScheduleContext(ctx, g)
+		if err == nil {
+			// The fuse outlived the walk; larger fuses only finish
+			// sooner.
+			if pl == nil {
+				t.Fatalf("fuse %d: nil placement without error", fuse)
+			}
+			break
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("fuse %d: err = %v, want context.Canceled", fuse, err)
+		}
+		if pl != nil {
+			t.Fatalf("fuse %d: partial placement returned alongside error", fuse)
+		}
+	}
+}

@@ -152,6 +152,11 @@ func (b *builder) linear(n *clan.Node) fragment {
 	var cost int64
 	for _, child := range n.Children {
 		f := b.schedule(child)
+		if b.err != nil {
+			// A cancelled child returns an empty fragment; indexing
+			// its lanes would panic, so bail out before touching it.
+			return fragment{}
+		}
 		home = append(home, f.lanes[0]...)
 		extra = append(extra, f.lanes[1:]...)
 		cost += f.cost
@@ -167,6 +172,10 @@ func (b *builder) independent(n *clan.Node) fragment {
 	var serialCost int64
 	for i, child := range n.Children {
 		frags[i] = b.schedule(child)
+		if b.err != nil {
+			// See linear: never index a cancelled child's lanes.
+			return fragment{}
+		}
 		serialCost += frags[i].cost
 		in, out := b.boundaryComm(child.Members)
 		penalty[i] = in + out

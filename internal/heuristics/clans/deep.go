@@ -38,6 +38,11 @@ func (b *builder) primitiveDeep(n *clan.Node) (fragment, bool) {
 			return fragment{}, false
 		}
 		frags[i] = b.schedule(sub)
+		if b.err != nil {
+			// Cancelled mid-block: the fragment is empty and must not
+			// be indexed; the caller's b.err check surfaces the error.
+			return fragment{}, true
+		}
 		composite = true
 	}
 	if !composite {

@@ -1,0 +1,74 @@
+package schedtest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"schedcomp/internal/anytime"
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+// anytimeTrajectory runs one fixed-seed, fixed-generation anytime
+// optimization and flattens everything observable — the per-generation
+// (best makespan, lower bound) trace, the result's statistics and the
+// final schedule's full timing — into one byte string. Two runs are
+// identical iff their trajectory strings match.
+func anytimeTrajectory(t *testing.T, g *dag.Graph) string {
+	t.Helper()
+	var b strings.Builder
+	res, err := anytime.Optimize(context.Background(), g, anytime.Options{
+		Seed:        20260809,
+		Generations: 8,
+		Population:  16,
+		ProbeStates: 512,
+		OnGeneration: func(gen int, best *sched.Schedule, lb int64) {
+			fmt.Fprintf(&b, "g%d:%d:%d;", gen, best.Makespan, lb)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "mk=%d lb=%d gap=%d proven=%v gens=%d impr=%d seed=%s states=%d ",
+		res.Schedule.Makespan, res.LowerBound, res.Gap, res.Proven,
+		res.Generations, res.Improvements, res.SeedName, res.ProbeStates)
+	fmt.Fprintf(&b, "sched=%v", res.Schedule.ByNode)
+	return b.String()
+}
+
+// RequireDeterministicAnytime extends the determinism suite to the
+// anytime path: with a fixed seed (structure-hashed like RAND) and a
+// fixed budget-in-generations, the whole trajectory — every
+// generation's best makespan and lower bound, the improvement counts,
+// and the final schedule byte for byte — must be identical across
+// runs, including under GOMAXPROCS(1). The corpus covers both graphs
+// small enough to engage the branch-and-bound probe and corpus-sized
+// graphs where the GA runs alone.
+func RequireDeterministicAnytime(t *testing.T) {
+	graphs := DeterminismCorpus(t, 20260805)
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 3; i++ {
+		// Small graphs: the probe interleave participates in the
+		// trajectory, so its determinism is covered too.
+		graphs = append(graphs, RandomDAG(rng, 8+2*i, 0.3))
+	}
+	for gi, g := range graphs {
+		a := anytimeTrajectory(t, g)
+		b := anytimeTrajectory(t, g)
+		if a != b {
+			t.Fatalf("graph %d (%s): anytime trajectories differ between runs\n run 1: %s\n run 2: %s",
+				gi, g.Name(), a, b)
+		}
+		prev := runtime.GOMAXPROCS(1)
+		c := anytimeTrajectory(t, g)
+		runtime.GOMAXPROCS(prev)
+		if c != a {
+			t.Fatalf("graph %d (%s): anytime trajectory depends on GOMAXPROCS\n default: %s\n procs=1: %s",
+				gi, g.Name(), a, c)
+		}
+	}
+}

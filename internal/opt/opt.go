@@ -17,6 +17,15 @@
 // processors are interchangeable), pruning with the classical
 // communication-free longest-remaining-path lower bound and starting
 // from the best heuristic schedule as incumbent.
+//
+// Two entry points share the search core. Solve runs to completion (or
+// budget) and returns the optimum. Probe exposes the same search as a
+// resumable object: callers grant states in slices via Step and may
+// interleave other work — notably the anytime optimizer, which runs a
+// genetic search in the gaps and feeds improved upper bounds back with
+// Tighten. A Probe additionally maintains a live, proven lower bound
+// on the optimum (see LowerBound), sound at every pause point, so
+// partial runs still yield a certified optimality gap.
 package opt
 
 import (
@@ -32,10 +41,19 @@ type Options struct {
 	// MaxTasks refuses graphs larger than this (default 14): beyond
 	// that the search space explodes.
 	MaxTasks int
-	// MaxStates aborts after this many explored states (default 20M).
+	// MaxStates aborts Solve after roughly this many search steps
+	// (default 20M). Exhaustion is not a bare failure: Solve returns
+	// the incumbent-so-far Result — best schedule found, states
+	// explored, and the proven lower bound — alongside an error
+	// wrapping ErrBudget so callers can distinguish "optimal, proven"
+	// from "best effort, bound not proven".
 	MaxStates int64
 	// Incumbent is an optional starting upper bound (e.g. the best
-	// heuristic schedule); 0 means "sum of all weights + 1".
+	// heuristic schedule); 0 means "sum of all weights + 1". It does
+	// not enable pruning until the search finds its own witness
+	// schedule (see Probe.Tighten for the externally-witnessed
+	// variant), so a caller-supplied incumbent can never leave Solve
+	// without a placement.
 	Incumbent int64
 }
 
@@ -48,11 +66,24 @@ func (o *Options) fill() {
 	}
 }
 
-// Result is an optimal schedule and search statistics.
+// Result is the outcome of a search: an optimal schedule when Proven,
+// otherwise the best found before the budget ran out.
 type Result struct {
-	Makespan  int64
+	// Makespan is the best known upper bound: the witness schedule's
+	// makespan when Placement is non-nil, otherwise the caller's
+	// incumbent bound.
+	Makespan int64
+	// Placement is the witness achieving Makespan; nil only when a
+	// budget abort struck before the search completed any schedule.
 	Placement *sched.Placement
-	Explored  int64
+	// Explored counts applied search moves (plus the root state).
+	Explored int64
+	// LowerBound is a proven lower bound on the optimal makespan,
+	// valid regardless of how far the search got.
+	LowerBound int64
+	// Proven reports that the search ran to completion, i.e. Makespan
+	// is the exact optimum and equals LowerBound.
+	Proven bool
 }
 
 // Errors returned by Solve.
@@ -61,199 +92,19 @@ var (
 	ErrBudget   = errors.New("opt: state budget exhausted before proving optimality")
 )
 
-type solver struct {
-	g        *dag.Graph
-	n        int
-	blevel   []int64 // communication-free b-levels (lower bound paths)
-	best     int64
-	bestSeq  []dag.NodeID
-	bestProc []int
-	explored int64
-	budget   int64
-
-	// DFS state.
-	seq       []dag.NodeID
-	procOf    []int
-	finish    []int64
-	procFree  []int64
-	missing   []int // unscheduled predecessor count
-	scheduled []bool
-}
-
 // Solve returns an optimal schedule for g. The graph must be acyclic
-// and within the configured size limits.
+// and within the configured size limits. If the state budget runs out
+// first, Solve returns the partial Result (incumbent-so-far, with
+// Proven == false) together with an error wrapping ErrBudget.
 func Solve(g *dag.Graph, opts Options) (*Result, error) {
-	opts.fill()
-	n := g.NumNodes()
-	if n > opts.MaxTasks {
-		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, opts.MaxTasks)
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		return &Result{Placement: sched.NewPlacement(0)}, nil
-	}
-	bl, err := g.BLevelsNoComm()
+	p, err := NewProbe(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	ub := opts.Incumbent
-	if ub <= 0 {
-		ub = g.SerialTime() + 1
+	if !p.Step(p.opts.MaxStates) {
+		res := p.Result()
+		return res, fmt.Errorf("%w (%d states, proven lower bound %d)",
+			ErrBudget, res.Explored, res.LowerBound)
 	}
-	s := &solver{
-		g:         g,
-		n:         n,
-		blevel:    bl,
-		best:      ub,
-		budget:    opts.MaxStates,
-		procOf:    make([]int, n),
-		finish:    make([]int64, n),
-		missing:   make([]int, n),
-		scheduled: make([]bool, n),
-	}
-	for v := 0; v < n; v++ {
-		s.missing[v] = g.InDegree(dag.NodeID(v))
-	}
-	// Note: while no witness schedule has been recorded (bestSeq ==
-	// nil) the bound pruning is disabled, so the first completed
-	// schedule is always accepted; a caller-supplied incumbent can
-	// therefore never leave the solver without a witness.
-	exhausted := s.dfs(0, 0)
-	if exhausted {
-		return nil, fmt.Errorf("%w (%d states)", ErrBudget, s.explored)
-	}
-	pl := sched.NewPlacement(n)
-	for i, v := range s.bestSeq {
-		pl.Assign(v, s.bestProc[i])
-	}
-	pl.Compact()
-	res := &Result{Makespan: s.best, Placement: pl, Explored: s.explored}
-	return res, nil
-}
-
-// dfs explores states; returns true if the budget ran out.
-func (s *solver) dfs(done int, makespan int64) bool {
-	s.explored++
-	if s.explored > s.budget {
-		return true
-	}
-	if done == s.n {
-		if makespan < s.best || s.bestSeq == nil {
-			s.best = makespan
-			s.bestSeq = append(s.bestSeq[:0], s.seq...)
-			s.bestProc = make([]int, len(s.seq))
-			for i, v := range s.seq {
-				s.bestProc[i] = s.procOf[v]
-			}
-		}
-		return false
-	}
-	// Lower bound: every unscheduled task still needs its
-	// communication-free remaining path, starting no earlier than its
-	// scheduled predecessors finish (communication relaxed to zero).
-	if s.lowerBound(makespan) >= s.best && s.bestSeq != nil {
-		return false
-	}
-
-	used := len(s.procFree)
-	for v := 0; v < s.n; v++ {
-		if s.scheduled[v] || s.missing[v] != 0 {
-			continue
-		}
-		node := dag.NodeID(v)
-		w := s.g.Weight(node)
-		cand := used
-		if cand < s.n {
-			cand++ // one fresh processor (they are interchangeable)
-		}
-		for p := 0; p < cand; p++ {
-			var start int64
-			if p < used {
-				start = s.procFree[p]
-			}
-			for _, e := range s.g.Preds(node) {
-				t := s.finish[e.To]
-				if s.procOf[e.To] != p {
-					t += e.Weight
-				}
-				if t > start {
-					start = t
-				}
-			}
-			f := start + w
-			if s.bestSeq != nil && start+s.blevel[v] >= s.best {
-				continue // this task alone already busts the bound
-			}
-			// Apply.
-			var oldFree int64
-			if p == used {
-				s.procFree = append(s.procFree, f)
-			} else {
-				oldFree = s.procFree[p]
-				s.procFree[p] = f
-			}
-			s.scheduled[v] = true
-			s.procOf[v] = p
-			s.finish[v] = f
-			s.seq = append(s.seq, node)
-			for _, e := range s.g.Succs(node) {
-				s.missing[e.To]--
-			}
-			nm := makespan
-			if f > nm {
-				nm = f
-			}
-			out := s.dfs(done+1, nm)
-			// Undo.
-			for _, e := range s.g.Succs(node) {
-				s.missing[e.To]++
-			}
-			s.seq = s.seq[:len(s.seq)-1]
-			s.scheduled[v] = false
-			if p == used {
-				s.procFree = s.procFree[:used]
-			} else {
-				s.procFree[p] = oldFree
-			}
-			if out {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// lowerBound relaxes communication to zero: each unscheduled task can
-// finish no earlier than (latest scheduled-predecessor finish, chained
-// through unscheduled predecessors) plus its remaining path.
-func (s *solver) lowerBound(makespan int64) int64 {
-	lb := makespan
-	// est[v]: earliest conceivable start with zero communication.
-	est := make([]int64, s.n)
-	order, _ := s.g.TopoOrder()
-	for _, v := range order {
-		if s.scheduled[v] {
-			continue
-		}
-		var e int64
-		for _, a := range s.g.Preds(v) {
-			p := a.To
-			var t int64
-			if s.scheduled[p] {
-				t = s.finish[p]
-			} else {
-				t = est[p] + s.g.Weight(p)
-			}
-			if t > e {
-				e = t
-			}
-		}
-		est[v] = e
-		if c := e + s.blevel[v]; c > lb {
-			lb = c
-		}
-	}
-	return lb
+	return p.Result(), nil
 }

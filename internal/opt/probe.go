@@ -1,0 +1,411 @@
+package opt
+
+import (
+	"fmt"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/sched"
+)
+
+// move is one branch decision: schedule task v on processor p. start
+// and fin are valid exactly in the parent frame's state (every
+// application of a frame's move happens with all of that frame's
+// earlier siblings undone). bound is a proven lower bound on the
+// makespan of every completion reachable through this move.
+type move struct {
+	v     dag.NodeID
+	p     int
+	start int64
+	fin   int64
+	bound int64
+}
+
+// frame is one level of the explicit DFS stack: the moves available in
+// its entry state, a cursor over them, and undo bookkeeping for the
+// currently applied move (moves[next-1] when applied is true).
+type frame struct {
+	moves   []move
+	next    int
+	mk      int64 // makespan entering this frame
+	applied bool
+	fresh   bool  // applied move opened a new processor
+	oldFree int64 // procFree value to restore otherwise
+}
+
+// Probe is a resumable branch-and-bound search over schedules of one
+// graph. Callers grant search states in slices with Step, read the
+// live proven lower bound with LowerBound, and may inject externally
+// witnessed upper bounds with Tighten. A Probe is not safe for
+// concurrent use.
+type Probe struct {
+	g    *dag.Graph
+	n    int
+	opts Options
+
+	blevel []int64      // communication-free b-levels
+	topo   []dag.NodeID // cached topological order
+	cpLB   int64        // communication-free critical path (root bound)
+
+	// ub is the current pruning bound; it is always a sound upper
+	// bound on the optimum (serial time + 1, a trusted caller
+	// incumbent, or a completed schedule's makespan). haveBound gates
+	// pruning: false until the search records its own witness or the
+	// caller vouches for an external one via Tighten, mirroring
+	// Solve's "the first completed schedule is always accepted" rule.
+	ub        int64
+	haveBound bool
+
+	// Witness: the best complete schedule this probe itself has found.
+	witMk   int64
+	witSeq  []dag.NodeID
+	witProc []int
+
+	explored int64
+	done     bool
+	lbHW     int64 // monotone high-water mark of reported lower bounds
+
+	stack []frame
+	spare [][]move // recycled move slices from popped frames
+
+	// DFS state, mutated by apply/undo.
+	seq       []dag.NodeID
+	procOf    []int
+	finish    []int64
+	procFree  []int64
+	missing   []int
+	scheduled []bool
+	doneCount int
+	est       []int64 // scratch for lowerBound
+}
+
+// NewProbe validates g and prepares a search. Options.MaxStates is
+// ignored here — the budget is whatever the caller grants via Step.
+func NewProbe(g *dag.Graph, opts Options) (*Probe, error) {
+	opts.fill()
+	n := g.NumNodes()
+	if n > opts.MaxTasks {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, opts.MaxTasks)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Probe{g: g, n: n, opts: opts}
+	if n == 0 {
+		p.done = true
+		p.haveBound = true
+		p.witSeq = []dag.NodeID{}
+		return p, nil
+	}
+	bl, err := g.BLevelsNoComm()
+	if err != nil {
+		return nil, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// The probe outlives this call and steps across cache-interleaved
+	// work, so it keeps owned copies of the shared cached views.
+	p.blevel = append([]int64(nil), bl...)
+	p.topo = append([]dag.NodeID(nil), topo...)
+	for _, l := range bl {
+		if l > p.cpLB {
+			p.cpLB = l
+		}
+	}
+	p.ub = opts.Incumbent
+	if p.ub <= 0 {
+		p.ub = g.SerialTime() + 1
+	}
+	p.procOf = make([]int, n)
+	p.finish = make([]int64, n)
+	p.missing = make([]int, n)
+	p.scheduled = make([]bool, n)
+	p.est = make([]int64, n)
+	for v := 0; v < n; v++ {
+		p.missing[v] = g.InDegree(dag.NodeID(v))
+	}
+	p.explored = 1 // the root state
+	p.stack = append(p.stack, frame{moves: p.genMoves(0)})
+	return p, nil
+}
+
+// Step advances the search by at most states units of work and reports
+// whether it has completed. Each unit either applies one move (counted
+// in Explored) or retires an exhausted stack frame, so granting k
+// states costs O(k) regardless of pruning.
+func (p *Probe) Step(states int64) bool {
+	for ; states > 0 && !p.done; states-- {
+		p.step1()
+	}
+	return p.done
+}
+
+// Done reports whether the search space is exhausted; once true, the
+// lower bound equals the optimum.
+func (p *Probe) Done() bool { return p.done }
+
+// Explored returns the number of states explored so far.
+func (p *Probe) Explored() int64 { return p.explored }
+
+// Incumbent returns the makespan of the best complete schedule the
+// probe itself has found, and whether one exists. (A Tighten-supplied
+// bound is not an incumbent: the caller holds that witness.)
+func (p *Probe) Incumbent() (int64, bool) {
+	return p.witMk, p.witSeq != nil
+}
+
+// IncumbentPlacement materialises the witness placement for the best
+// schedule the probe has found, or nil if there is none yet.
+func (p *Probe) IncumbentPlacement() *sched.Placement {
+	if p.witSeq == nil {
+		return nil
+	}
+	pl := sched.NewPlacement(p.n)
+	for i, v := range p.witSeq {
+		pl.Assign(v, p.witProc[i])
+	}
+	pl.Compact()
+	return pl
+}
+
+// Tighten lowers the pruning bound to ub, which the caller guarantees
+// is the makespan of a schedule it holds (e.g. the best GA
+// individual). Unlike Options.Incumbent, a tightened bound prunes
+// immediately: the probe only records schedules strictly better than
+// ub, and if the search then completes without finding one, ub is
+// proven optimal (LowerBound converges to ub).
+func (p *Probe) Tighten(ub int64) {
+	if ub <= 0 {
+		return
+	}
+	if ub < p.ub {
+		p.ub = ub
+	}
+	p.haveBound = true
+}
+
+// LowerBound returns a proven lower bound on the optimal makespan,
+// monotone non-decreasing across calls. Soundness: every schedule is
+// (a) already explored or pruned — its makespan is ≥ ub at the moment
+// it was cut, hence ≥ the final best; (b) reachable only through an
+// untried move of some stack frame, whose bound field undercuts it; or
+// (c) below the communication-free critical path, which is impossible.
+// The minimum over (a)'s ub and (b)'s frontier, clamped by (c), is
+// therefore ≤ the optimum; once the frontier empties the bound is
+// exactly the optimum.
+func (p *Probe) LowerBound() int64 {
+	lb := p.ub
+	if !p.done {
+		for i := range p.stack {
+			f := &p.stack[i]
+			for _, m := range f.moves[f.next:] {
+				if m.bound < lb {
+					lb = m.bound
+				}
+			}
+		}
+	}
+	if lb < p.cpLB {
+		lb = p.cpLB
+	}
+	if lb > p.lbHW {
+		p.lbHW = lb
+	}
+	return p.lbHW
+}
+
+// Result snapshots the search as a Result (see Solve).
+func (p *Probe) Result() *Result {
+	r := &Result{
+		Explored:   p.explored,
+		LowerBound: p.LowerBound(),
+		Proven:     p.done,
+	}
+	if p.witSeq != nil {
+		r.Makespan = p.witMk
+		r.Placement = p.IncumbentPlacement()
+	} else {
+		r.Makespan = p.ub
+	}
+	return r
+}
+
+// step1 performs one unit of work: undo the top frame's applied move
+// if any, then either apply its next viable move (descending, or
+// recording a completion), or pop the exhausted frame.
+func (p *Probe) step1() {
+	if len(p.stack) == 0 {
+		p.done = true
+		return
+	}
+	fi := len(p.stack) - 1
+	f := &p.stack[fi]
+	if f.applied {
+		p.undo(f)
+	}
+	for f.next < len(f.moves) {
+		m := f.moves[f.next]
+		f.next++
+		if p.haveBound && m.bound >= p.ub {
+			continue // this move alone already busts the bound
+		}
+		p.apply(f, m)
+		p.explored++
+		nm := f.mk
+		if m.fin > nm {
+			nm = m.fin
+		}
+		if p.doneCount == p.n {
+			p.record(nm)
+			p.undo(f)
+			return
+		}
+		// The cheap per-move bound passed; re-check with the full
+		// relaxation before committing a frame to this subtree.
+		if p.haveBound && p.lowerBound(nm) >= p.ub {
+			p.undo(f)
+			return
+		}
+		p.stack = append(p.stack, frame{mk: nm, moves: p.genMoves(nm)})
+		return
+	}
+	p.spare = append(p.spare, f.moves)
+	p.stack = p.stack[:fi]
+}
+
+// record accepts a completed schedule. While no witness exists and no
+// external bound has been vouched for, the first completion is always
+// accepted (even above a caller incumbent), preserving Solve's
+// witness guarantee; afterwards only strict improvements count.
+func (p *Probe) record(mk int64) {
+	if mk >= p.ub && (p.witSeq != nil || p.haveBound) {
+		return
+	}
+	p.witMk = mk
+	p.witSeq = append(p.witSeq[:0], p.seq...)
+	if cap(p.witProc) < len(p.seq) {
+		p.witProc = make([]int, len(p.seq))
+	}
+	p.witProc = p.witProc[:len(p.seq)]
+	for i, v := range p.seq {
+		p.witProc[i] = p.procOf[v]
+	}
+	p.ub = mk
+	p.haveBound = true
+}
+
+func (p *Probe) apply(f *frame, m move) {
+	if m.p == len(p.procFree) {
+		f.fresh = true
+		p.procFree = append(p.procFree, m.fin)
+	} else {
+		f.fresh = false
+		f.oldFree = p.procFree[m.p]
+		p.procFree[m.p] = m.fin
+	}
+	p.scheduled[m.v] = true
+	p.procOf[m.v] = m.p
+	p.finish[m.v] = m.fin
+	p.seq = append(p.seq, m.v)
+	for _, e := range p.g.Succs(m.v) {
+		p.missing[e.To]--
+	}
+	p.doneCount++
+	f.applied = true
+}
+
+func (p *Probe) undo(f *frame) {
+	m := f.moves[f.next-1]
+	for _, e := range p.g.Succs(m.v) {
+		p.missing[e.To]++
+	}
+	p.seq = p.seq[:len(p.seq)-1]
+	p.scheduled[m.v] = false
+	if f.fresh {
+		p.procFree = p.procFree[:len(p.procFree)-1]
+	} else {
+		p.procFree[m.p] = f.oldFree
+	}
+	p.doneCount--
+	f.applied = false
+}
+
+// genMoves enumerates every (ready task × candidate processor) branch
+// of the current state: all used processors plus one fresh (they are
+// interchangeable). mk is the makespan entering the frame; each move's
+// bound is max(mk, start + blevel), a proven floor for its subtree.
+func (p *Probe) genMoves(mk int64) []move {
+	var ms []move
+	if k := len(p.spare); k > 0 {
+		ms = p.spare[k-1][:0]
+		p.spare = p.spare[:k-1]
+	}
+	used := len(p.procFree)
+	for v := 0; v < p.n; v++ {
+		if p.scheduled[v] || p.missing[v] != 0 {
+			continue
+		}
+		node := dag.NodeID(v)
+		w := p.g.Weight(node)
+		cand := used
+		if cand < p.n {
+			cand++
+		}
+		for proc := 0; proc < cand; proc++ {
+			var start int64
+			if proc < used {
+				start = p.procFree[proc]
+			}
+			for _, e := range p.g.Preds(node) {
+				t := p.finish[e.To]
+				if p.procOf[e.To] != proc {
+					t += e.Weight
+				}
+				if t > start {
+					start = t
+				}
+			}
+			b := start + p.blevel[v]
+			if mk > b {
+				b = mk
+			}
+			ms = append(ms, move{v: node, p: proc, start: start, fin: start + w, bound: b})
+		}
+	}
+	return ms
+}
+
+// lowerBound relaxes communication to zero: each unscheduled task can
+// finish no earlier than (latest scheduled-predecessor finish, chained
+// through unscheduled predecessors) plus its remaining path.
+func (p *Probe) lowerBound(makespan int64) int64 {
+	lb := makespan
+	est := p.est
+	for i := range est {
+		est[i] = 0
+	}
+	for _, v := range p.topo {
+		if p.scheduled[v] {
+			continue
+		}
+		var e int64
+		for _, a := range p.g.Preds(v) {
+			pr := a.To
+			var t int64
+			if p.scheduled[pr] {
+				t = p.finish[pr]
+			} else {
+				t = est[pr] + p.g.Weight(pr)
+			}
+			if t > e {
+				e = t
+			}
+		}
+		est[v] = e
+		if c := e + p.blevel[v]; c > lb {
+			lb = c
+		}
+	}
+	return lb
+}

@@ -1,0 +1,243 @@
+package opt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"schedcomp/internal/dag"
+	"schedcomp/internal/paperex"
+	"schedcomp/internal/sched"
+)
+
+func randomGraph(seed int64, maxNodes int) *dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxNodes-1)
+	g := dag.New("probe-rand")
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(1 + rng.Intn(40)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(100) < 30 {
+				g.MustAddEdge(dag.NodeID(i), dag.NodeID(j), int64(rng.Intn(60)))
+			}
+		}
+	}
+	return g
+}
+
+// Regression for the MaxStates abort path: exhaustion must return the
+// incumbent-so-far with a distinguishable "bound not proven" error,
+// not a bare failure.
+func TestBudgetAbortReturnsIncumbent(t *testing.T) {
+	g := dag.New("wide")
+	for i := 0; i < 10; i++ {
+		g.AddNode(int64(i + 1))
+	}
+	// 60 steps: enough to complete at least one depth-first schedule
+	// (depth 10), nowhere near enough to finish the search.
+	res, err := Solve(g, Options{MaxStates: 60})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res == nil {
+		t.Fatal("budget abort returned nil Result; want incumbent-so-far")
+	}
+	if res.Proven {
+		t.Error("aborted search claims Proven")
+	}
+	if res.Placement == nil {
+		t.Fatal("no witness recorded before abort")
+	}
+	sc, err := sched.Build(g, res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Makespan != res.Makespan {
+		t.Errorf("witness makespan %d != claimed %d", sc.Makespan, res.Makespan)
+	}
+	// Independent tasks, as many processors as tasks: optimum is the
+	// max weight. The partial bound must never exceed it.
+	if res.LowerBound > 10 {
+		t.Errorf("LowerBound %d exceeds true optimum 10", res.LowerBound)
+	}
+	if res.LowerBound < 10 {
+		// The communication-free critical path alone proves 10 here.
+		t.Errorf("LowerBound %d below critical path 10", res.LowerBound)
+	}
+}
+
+// An abort so early that no schedule has completed yet must still
+// return a Result (with a nil Placement) rather than nothing.
+func TestBudgetAbortBeforeWitness(t *testing.T) {
+	g := dag.New("wide")
+	for i := 0; i < 10; i++ {
+		g.AddNode(int64(i + 1))
+	}
+	res, err := Solve(g, Options{MaxStates: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res == nil {
+		t.Fatal("budget abort returned nil Result")
+	}
+	if res.Placement != nil {
+		t.Fatalf("3 steps cannot complete a 10-task schedule, placement %v", res.Placement)
+	}
+	if res.Proven {
+		t.Error("aborted search claims Proven")
+	}
+	if res.LowerBound <= 0 || res.LowerBound > 10 {
+		t.Errorf("LowerBound = %d, want in (0, 10]", res.LowerBound)
+	}
+}
+
+// A probe stepped in small slices must land on exactly the Solve
+// optimum, with the lower bound converging to it.
+func TestProbeResumeMatchesSolve(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		g := randomGraph(seed, 8)
+		want, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProbe(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for !p.Step(7) {
+			if steps++; steps > 1_000_000 {
+				t.Fatal("probe did not converge")
+			}
+		}
+		res := p.Result()
+		if !res.Proven {
+			t.Fatal("completed probe not Proven")
+		}
+		if res.Makespan != want.Makespan {
+			t.Errorf("seed %d: probe optimum %d != Solve optimum %d",
+				seed, res.Makespan, want.Makespan)
+		}
+		if res.LowerBound != res.Makespan {
+			t.Errorf("seed %d: completed probe LowerBound %d != Makespan %d",
+				seed, res.LowerBound, res.Makespan)
+		}
+		sc, err := sched.Build(g, res.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Makespan != res.Makespan {
+			t.Errorf("seed %d: witness rebuilds to %d, claimed %d",
+				seed, sc.Makespan, res.Makespan)
+		}
+	}
+}
+
+// The live lower bound is monotone non-decreasing across pauses and
+// never exceeds the true optimum at any pause point.
+func TestProbeLowerBoundMonotoneAndSound(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := randomGraph(100+seed, 8)
+		want, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProbe(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := int64(0)
+		for !p.Done() {
+			p.Step(5)
+			lb := p.LowerBound()
+			if lb < prev {
+				t.Fatalf("seed %d: lower bound regressed %d -> %d", seed, prev, lb)
+			}
+			if lb > want.Makespan {
+				t.Fatalf("seed %d: lower bound %d exceeds optimum %d",
+					seed, lb, want.Makespan)
+			}
+			prev = lb
+		}
+		if got := p.LowerBound(); got != want.Makespan {
+			t.Errorf("seed %d: final lower bound %d != optimum %d",
+				seed, got, want.Makespan)
+		}
+	}
+}
+
+// Tighten with an externally witnessed optimum must let the search
+// prove it without ever producing its own witness; a looser external
+// bound must still be beaten by a recorded witness.
+func TestTightenProvesExternalBound(t *testing.T) {
+	g := paperex.Graph()
+
+	p, err := NewProbe(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tighten(130) // the known optimum — nothing strictly better exists
+	for !p.Step(4096) {
+	}
+	if lb := p.LowerBound(); lb != 130 {
+		t.Errorf("completed probe under Tighten(optimum): lower bound %d, want 130", lb)
+	}
+	if mk, ok := p.Incumbent(); ok && mk >= 130 {
+		t.Errorf("probe recorded a non-improving witness: %d", mk)
+	}
+
+	p2, err := NewProbe(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Tighten(200) // loose external bound: the probe should beat it
+	for !p2.Step(4096) {
+	}
+	mk, ok := p2.Incumbent()
+	if !ok || mk != 130 {
+		t.Fatalf("incumbent under loose Tighten = %d (have %v), want 130", mk, ok)
+	}
+	sc, err := sched.Build(g, p2.IncumbentPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Makespan != 130 {
+		t.Errorf("witness rebuilds to %d, want 130", sc.Makespan)
+	}
+}
+
+func TestProbeTrivialGraphs(t *testing.T) {
+	empty := dag.New("empty")
+	p, err := NewProbe(empty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Fatal("empty graph probe not immediately done")
+	}
+	res := p.Result()
+	if res.Makespan != 0 || !res.Proven || res.Placement == nil {
+		t.Fatalf("empty graph result = %+v", res)
+	}
+
+	one := dag.New("one")
+	one.AddNode(42)
+	p, err = NewProbe(one, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !p.Step(16) {
+	}
+	res = p.Result()
+	if res.Makespan != 42 || res.LowerBound != 42 || !res.Proven {
+		t.Fatalf("single-node result = %+v", res)
+	}
+}

@@ -89,11 +89,14 @@ const (
 
 // entry is one cached schedule. enc is an owned copy of the canonical
 // encoding (never a shared view of a graph's analysis cache); sched is
-// in canonical index space and shared read-only with every caller.
+// in canonical index space and shared read-only with every caller, as
+// is meta (opaque compute-provided provenance, e.g. the anytime tier's
+// proven bound).
 type entry struct {
 	key   Key
 	enc   []byte
 	sched *sched.Schedule
+	meta  any
 	bytes int64
 }
 
@@ -104,6 +107,7 @@ type flight struct {
 	// Written exactly once before done is closed.
 	enc   []byte
 	sched *sched.Schedule
+	meta  any
 	err   error
 }
 
@@ -185,7 +189,7 @@ func New(cfg Config) *Cache {
 		c.shards[i] = &shard{
 			lru:        list.New(),
 			byKey:      make(map[Key]*list.Element), //lint:coldpath cache construction runs once per process
-			flights:    make(map[Key]*flight),      //lint:coldpath cache construction runs once per process
+			flights:    make(map[Key]*flight),       //lint:coldpath cache construction runs once per process
 			maxEntries: (maxEntries + n - 1) / n,
 			maxBytes:   (maxBytes + int64(n) - 1) / int64(n),
 		}
@@ -244,6 +248,21 @@ func sizeOf(enc []byte, s *sched.Schedule) int64 {
 // still live takes over the computation instead of inheriting the
 // cancellation.
 func (c *Cache) Do(ctx context.Context, key Key, enc []byte, compute func(context.Context) (*sched.Schedule, error)) (*sched.Schedule, Status, error) {
+	sc, _, st, err := c.DoMeta(ctx, key, enc, func(ctx context.Context) (*sched.Schedule, any, error) {
+		s, err := compute(ctx)
+		return s, nil, err
+	})
+	return sc, st, err
+}
+
+// DoMeta is Do for computations that produce provenance beyond the
+// schedule itself — the anytime tier's proven lower bound, generation
+// counts and so on. The opaque meta value is stored beside the
+// schedule and returned with every hit or coalesced share, so cached
+// refined schedules keep their certified gap instead of degrading to
+// an uncertified answer. meta must be immutable: it is shared across
+// callers exactly like the schedule.
+func (c *Cache) DoMeta(ctx context.Context, key Key, enc []byte, compute func(context.Context) (*sched.Schedule, any, error)) (*sched.Schedule, any, Status, error) {
 	s := c.shardFor(key)
 	hc := c.counters(key.Heuristic)
 	waited := false
@@ -256,24 +275,24 @@ func (c *Cache) Do(ctx context.Context, key Key, enc []byte, compute func(contex
 				s.mu.Unlock()
 				if waited {
 					hc.coalesced.Inc()
-					return e.sched, Coalesced, nil
+					return e.sched, e.meta, Coalesced, nil
 				}
 				hc.hits.Inc()
-				return e.sched, Hit, nil
+				return e.sched, e.meta, Hit, nil
 			}
 			// Fingerprint collision: a different graph owns this key.
 			// Serve correctness over throughput: compute uncached.
 			s.mu.Unlock()
 			c.collisions.Inc()
 			hc.misses.Inc()
-			sc, err := compute(ctx)
-			return sc, Miss, err
+			sc, meta, err := compute(ctx)
+			return sc, meta, Miss, err
 		}
 		if f, ok := s.flights[key]; ok {
 			s.mu.Unlock()
 			select {
 			case <-ctx.Done():
-				return nil, Miss, ctx.Err()
+				return nil, nil, Miss, ctx.Err()
 			case <-f.done:
 			}
 			waited = true
@@ -283,47 +302,48 @@ func (c *Cache) Do(ctx context.Context, key Key, enc []byte, compute func(contex
 				if isCancellation(f.err) && ctx.Err() == nil {
 					continue
 				}
-				return nil, Miss, f.err
+				return nil, nil, Miss, f.err
 			}
 			if !bytes.Equal(f.enc, enc) {
 				// Coalesced onto a colliding graph's flight.
 				c.collisions.Inc()
 				hc.misses.Inc()
-				sc, err := compute(ctx)
-				return sc, Miss, err
+				sc, meta, err := compute(ctx)
+				return sc, meta, Miss, err
 			}
 			hc.coalesced.Inc()
-			return f.sched, Coalesced, nil
+			return f.sched, f.meta, Coalesced, nil
 		}
 		// Leader: compute outside the shard lock.
 		f := &flight{done: make(chan struct{})} //lint:coldpath miss path; each flight needs its own done channel
 		s.flights[key] = f
 		s.mu.Unlock()
 
-		sc, err := compute(ctx)
+		sc, meta, err := compute(ctx)
 		f.enc = enc
 		f.sched = sc
+		f.meta = meta
 		f.err = err
 
 		s.mu.Lock()
 		delete(s.flights, key)
 		if err == nil {
-			c.store(s, key, enc, sc)
+			c.store(s, key, enc, sc, meta)
 		}
 		s.mu.Unlock()
 		close(f.done)
 
 		if err != nil {
-			return nil, Miss, err
+			return nil, nil, Miss, err
 		}
 		hc.misses.Inc()
-		return sc, Miss, nil
+		return sc, meta, Miss, nil
 	}
 }
 
 // store inserts a computed schedule, evicting from the cold end until
 // the shard is back under both budgets. The shard lock must be held.
-func (c *Cache) store(s *shard, key Key, enc []byte, sc *sched.Schedule) {
+func (c *Cache) store(s *shard, key Key, enc []byte, sc *sched.Schedule, meta any) {
 	if el, ok := s.byKey[key]; ok {
 		// A collision-path compute can race a store for the same key;
 		// keep the incumbent (first writer wins, both are valid for
@@ -335,6 +355,7 @@ func (c *Cache) store(s *shard, key Key, enc []byte, sc *sched.Schedule) {
 		key:   key,
 		enc:   append([]byte(nil), enc...),
 		sched: sc,
+		meta:  meta,
 		bytes: sizeOf(enc, sc),
 	}
 	s.byKey[key] = s.lru.PushFront(e)

@@ -370,3 +370,86 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 }
+
+// DoMeta must round-trip the compute's opaque metadata through every
+// status: returned on the miss, preserved byte-for-byte on hits, and
+// shared with coalesced waiters.
+func TestDoMetaRoundTrip(t *testing.T) {
+	type prov struct {
+		LowerBound int64
+		Proven     bool
+	}
+	c := New(Config{})
+	key := testKey(7, "quality:best")
+	enc := []byte("graph-meta")
+	want := testSched(4)
+	wantMeta := prov{LowerBound: 42, Proven: true}
+
+	sc, meta, st, err := c.DoMeta(context.Background(), key, enc, func(context.Context) (*sched.Schedule, any, error) {
+		return want, wantMeta, nil
+	})
+	if err != nil || sc != want || st != Miss {
+		t.Fatalf("miss: sched %v status %v err %v", sc, st, err)
+	}
+	if got, ok := meta.(prov); !ok || got != wantMeta {
+		t.Fatalf("miss meta = %#v, want %#v", meta, wantMeta)
+	}
+
+	sc, meta, st, err = c.DoMeta(context.Background(), key, enc, func(context.Context) (*sched.Schedule, any, error) {
+		t.Fatal("compute ran on a hit")
+		return nil, nil, nil
+	})
+	if err != nil || sc != want || st != Hit {
+		t.Fatalf("hit: sched %v status %v err %v", sc, st, err)
+	}
+	if got, ok := meta.(prov); !ok || got != wantMeta {
+		t.Fatalf("hit meta = %#v, want %#v", meta, wantMeta)
+	}
+
+	// Coalesced waiters receive the leader's meta.
+	key2 := testKey(8, "quality:best")
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, m, st, err := c.DoMeta(context.Background(), key2, enc, func(context.Context) (*sched.Schedule, any, error) {
+			close(entered)
+			<-block
+			return want, wantMeta, nil
+		})
+		if err != nil || st != Miss {
+			t.Errorf("leader: status %v err %v", st, err)
+		}
+		if got, ok := m.(prov); !ok || got != wantMeta {
+			t.Errorf("leader meta = %#v", m)
+		}
+	}()
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, m, st, err := c.DoMeta(context.Background(), key2, enc, func(context.Context) (*sched.Schedule, any, error) {
+			t.Error("waiter computed")
+			return nil, nil, nil
+		})
+		if err != nil || st != Coalesced {
+			t.Errorf("waiter: status %v err %v", st, err)
+		}
+		if got, ok := m.(prov); !ok || got != wantMeta {
+			t.Errorf("waiter meta = %#v", m)
+		}
+	}()
+	// Let the waiter park on the flight before releasing the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	<-done
+
+	// Plain Do on a DoMeta-stored entry still works (meta dropped).
+	sc, st, err = c.Do(context.Background(), key, enc, computeOnce(t, new(atomic.Int64), testSched(9)))
+	if err != nil || sc != want || st != Hit {
+		t.Fatalf("Do after DoMeta: sched %v status %v err %v", sc, st, err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"schedcomp/internal/anytime"
 	"schedcomp/internal/dag"
 	"schedcomp/internal/heuristics"
 	"schedcomp/internal/obs"
@@ -80,10 +81,13 @@ const (
 	CacheMiss CacheStatus = "miss"
 )
 
-// Result is one finished scheduling request.
+// Result is one finished scheduling request. Best is set only for
+// quality-tier (anytime) requests and carries the proven-gap
+// provenance beside the schedule.
 type Result struct {
 	Index    int // position in the submitting batch; 0 for singles
 	Schedule *sched.Schedule
+	Best     *anytime.Result
 	Cache    CacheStatus
 	Err      error
 }
@@ -93,8 +97,12 @@ type task struct {
 	s     heuristics.Scheduler
 	g     *dag.Graph
 	index int
-	enq   time.Time
-	done  chan<- Result // buffered by the submitter; workers never block
+	// quality selects the anytime optimizer instead of s; budget is its
+	// refinement allowance (the request context still bounds the run).
+	quality bool
+	budget  time.Duration
+	enq     time.Time
+	done    chan<- Result // buffered by the submitter; workers never block
 }
 
 // Pipeline is the worker pool. Create with New, shut down with Close.
@@ -235,7 +243,10 @@ func (p *Pipeline) submit(ctx context.Context, s heuristics.Scheduler, g *dag.Gr
 
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
-	for t := range p.queue {
+	// Each task is scheduled independently; the schedule produced for a
+	// given graph does not depend on which worker dequeued it or in what
+	// order — receive ordering only decides who does the work.
+	for t := range p.queue { //lint:sorted
 		p.depth.Add(-1)
 		p.queueWait.Observe(time.Since(t.enq).Seconds())
 		if err := t.ctx.Err(); err != nil {
@@ -245,7 +256,17 @@ func (p *Pipeline) worker() {
 			continue
 		}
 		t0 := time.Now()
-		sc, err := heuristics.RunContext(t.ctx, t.s, t.g)
+		var sc *sched.Schedule
+		var best *anytime.Result
+		var err error
+		if t.quality {
+			best, err = anytime.Optimize(t.ctx, t.g, anytime.Options{Budget: t.budget})
+			if best != nil {
+				sc = best.Schedule
+			}
+		} else {
+			sc, err = heuristics.RunContext(t.ctx, t.s, t.g)
+		}
 		elapsed := time.Since(t0)
 		p.service.Observe(elapsed.Seconds())
 		p.svcCount.Add(1)
@@ -255,11 +276,11 @@ func (p *Pipeline) worker() {
 			p.completed.Inc()
 		case heuristics.IsCancellation(err):
 			p.cancelled.Inc()
-			sc = nil
+			sc, best = nil, nil
 		default:
 			p.failed.Inc()
 		}
-		t.done <- Result{Index: t.index, Schedule: sc, Err: err}
+		t.done <- Result{Index: t.index, Schedule: sc, Best: best, Err: err}
 	}
 }
 
